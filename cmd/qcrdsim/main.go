@@ -1,0 +1,94 @@
+// Qcrdsim runs the paper's first benchmark standalone: it simulates the
+// QCRD application on a configurable machine and prints the CPU/I/O
+// breakdown, the resource requirements of Eq. 3-5, and (optionally) the
+// disk/CPU speedup sweeps of Figures 4-5.
+//
+// Usage:
+//
+//	qcrdsim -cpus 4 -disks 8
+//	qcrdsim -sweep -base 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/appmodel"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		cpus     = flag.Int("cpus", 1, "number of CPUs")
+		disks    = flag.Int("disks", 1, "number of disks")
+		parFrac  = flag.Float64("parfrac", 0.75, "Amdahl parallelizable fraction of CPU bursts")
+		depth    = flag.Int("qdepth", 6, "I/O queue depth (concurrent streams)")
+		base     = flag.Duration("base", appmodel.QCRDBaseTime, "absolute duration of one model unit")
+		sweep    = flag.Bool("sweep", false, "also run the Figure 4/5 speedup sweeps")
+		analytic = flag.Bool("analytic", false, "print the closed-form evaluation alongside the simulation")
+	)
+	flag.Parse()
+
+	machine := appmodel.DefaultMachine()
+	machine.NumCPUs = *cpus
+	machine.NumDisks = *disks
+	machine.CPUParFrac = *parFrac
+	machine.IOQueueDepth = *depth
+
+	sim, err := appmodel.NewSimulator(machine, *base)
+	if err != nil {
+		fatal(err)
+	}
+	app := appmodel.QCRD()
+	res, err := sim.Run(app)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("QCRD on %d CPU(s), %d disk(s), base time %v\n\n", *cpus, *disks, *base)
+	tb := metrics.NewTable("Execution breakdown",
+		"Component", "CPU (s)", "IO (s)", "Comm (s)", "Wall (s)", "CPU %", "IO %")
+	tb.AddRow("Application", res.App.CPU.Seconds(), res.App.IO.Seconds(),
+		res.App.Comm.Seconds(), res.Wall.Seconds(), res.App.CPUPercent(), res.App.IOPercent())
+	for _, pr := range res.Programs {
+		tb.AddRow(pr.Name, pr.CPU.Seconds(), pr.IO.Seconds(), pr.Comm.Seconds(),
+			pr.Wall.Seconds(), pr.CPUPercent(), pr.IOPercent())
+	}
+	fmt.Println(tb.Render())
+
+	req := app.Requirements()
+	fmt.Printf("Model requirements (relative units): R_CPU=%.4f R_Disk=%.4f R_COM=%.4f\n\n",
+		req.CPU, req.Disk, req.Comm)
+
+	if *analytic {
+		ana, err := appmodel.Analytic(app, machine, *base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Analytic wall: %v (simulated %v)\n", ana.Wall, res.Wall)
+		errRate, err := appmodel.SimulatorError(app, machine, *base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Simulator-vs-analytic error: %.2f%%\n\n", errRate*100)
+	}
+
+	if *sweep {
+		fig4, _, err := appmodel.Figure4(machine, *base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(fig4.RenderLines(44, 10))
+		fig5, _, err := appmodel.Figure5(machine, *base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(fig5.RenderLines(44, 10))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qcrdsim: %v\n", err)
+	os.Exit(1)
+}

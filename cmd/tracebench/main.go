@@ -1,0 +1,138 @@
+// Tracebench runs the paper's second benchmark standalone: it replays an
+// application I/O trace — loaded from a UMDT file or synthesized on the
+// fly — against the simulated file store (or a real directory with -real)
+// and prints the per-operation timing report.
+//
+// Usage:
+//
+//	tracebench -app Cholesky
+//	tracebench -trace ./traces/lu.trace
+//	tracebench -app Dmine -real -dir /tmp/replaydir
+//	tracebench -tables            # regenerate Tables 1-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fsim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/tracesim"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "", "application to synthesize: Dmine, Pgrep, LU, Titan, Cholesky")
+		tracePath  = flag.String("trace", "", "path to a UMDT trace file to replay instead")
+		fileSize   = flag.Int64("filesize", 1<<30, "sample file size in bytes")
+		requests   = flag.Int("requests", 0, "request count override for synthesis (0 = default)")
+		real       = flag.Bool("real", false, "replay against a real directory instead of the simulator")
+		dir        = flag.String("dir", "", "directory for -real mode (default: a temp dir)")
+		tables     = flag.Bool("tables", false, "regenerate the paper's Tables 1-4 and exit")
+		perReq     = flag.Bool("requests-detail", false, "print per-request rows")
+		concurrent = flag.Bool("concurrent", false, "replay with one goroutine per traced process")
+		dump       = flag.Bool("dump", false, "print the trace in text form instead of replaying")
+		paced      = flag.Bool("paced", false, "honour the trace's wall-clock stamps as think time")
+	)
+	flag.Parse()
+
+	params := tracegen.Params{SampleFile: "sample-1gb.dat", FileSize: *fileSize, Requests: *requests}
+
+	if *tables {
+		tbs, _, err := tracesim.AllTables(params)
+		if err != nil {
+			fatal(err)
+		}
+		for _, tb := range tbs {
+			fmt.Println(tb.Render())
+		}
+		return
+	}
+
+	var tr *trace.Trace
+	var name string
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		name = *tracePath
+	case *app != "":
+		var err error
+		tr, err = tracegen.Generate(*app, params)
+		if err != nil {
+			fatal(err)
+		}
+		name = *app
+	default:
+		fmt.Fprintln(os.Stderr, "tracebench: need -app, -trace, or -tables")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *dump {
+		if err := trace.Dump(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var store fsim.Store
+	if *real {
+		d := *dir
+		if d == "" {
+			var err error
+			d, err = os.MkdirTemp("", "tracebench-")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("replaying in %s\n", d)
+		}
+		s, err := fsim.NewOSStore(d)
+		if err != nil {
+			fatal(err)
+		}
+		store = s
+	} else {
+		s, err := fsim.NewFileStore(fsim.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		store = s
+	}
+
+	rp := tracesim.NewReplayer(store)
+	rp.SampleFileSize = *fileSize
+	rp.Paced = *paced
+	var rep *tracesim.Report
+	var err error
+	if *concurrent {
+		rep, err = rp.ReplayConcurrent(name, tr)
+	} else {
+		rep, err = rp.Replay(name, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.Table().Render())
+	fmt.Printf("replayed %d records in %v (simulated I/O time)\n", len(tr.Records), rep.Elapsed)
+	if *perReq {
+		for _, r := range rep.Requests {
+			fmt.Printf("  #%-4d %-5s size=%-10d seek=%.6f ms read=%.6f ms write=%.6f ms\n",
+				r.Index, r.Op, r.Size, r.SeekMS, r.ReadMS, r.WriteMS)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+	os.Exit(1)
+}

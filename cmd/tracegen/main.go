@@ -1,0 +1,62 @@
+// Tracegen writes the five synthetic application traces (Dmine, Pgrep,
+// LU, Titan, Cholesky) to disk in the UMDT binary format, for use with
+// tracebench -trace.
+//
+// Usage:
+//
+//	tracegen -out ./traces -filesize 1073741824
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		fileSize = flag.Int64("filesize", 1<<30, "sample file size in bytes")
+		requests = flag.Int("requests", 0, "request count override (0 = per-app default)")
+		sample   = flag.String("sample", "sample-1gb.dat", "sample file name recorded in the header")
+	)
+	flag.Parse()
+
+	params := tracegen.Params{SampleFile: *sample, FileSize: *fileSize, Requests: *requests}
+	traces, err := tracegen.All(params)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range tracegen.AppNames {
+		tr := traces[name]
+		path := filepath.Join(*out, strings.ToLower(name)+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		stats := trace.ComputeStats(tr)
+		fmt.Printf("%-10s -> %s (%d records, %d reads, %d writes, %d seeks)\n",
+			name, path, len(tr.Records),
+			stats.Ops[trace.OpRead], stats.Ops[trace.OpWrite], stats.Ops[trace.OpSeek])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Webbench runs the paper's third benchmark standalone. It can regenerate
+// Tables 5-6 and Figure 6, serve the benchmark corpus on a real port
+// (the paper's 5050 by default), or drive load against a running server.
+//
+// Usage:
+//
+//	webbench -mode tables
+//	webbench -mode serve -addr :5050
+//	webbench -mode load -target 127.0.0.1:5050 -clients 8 -requests 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/metrics"
+	"repro/internal/vm"
+	"repro/internal/webserver"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "tables", "tables | serve | load")
+		addr     = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "listen address for serve mode")
+		target   = flag.String("target", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "server address for load mode")
+		clients  = flag.Int("clients", 4, "concurrent clients in load mode")
+		requests = flag.Int("requests", 50, "requests per client in load mode")
+		posts    = flag.Bool("posts", false, "mix POSTs into the load")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "tables":
+		runTables()
+	case "serve":
+		runServe(*addr)
+	case "load":
+		runLoad(*target, *clients, *requests, *posts)
+	default:
+		fmt.Fprintf(os.Stderr, "webbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runTables() {
+	t5, _, err := webserver.Table5()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t5.Render())
+	t6, _, err := webserver.Table6()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(t6.Render())
+	fig, _, err := webserver.Figure6()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig.RenderLines(44, 10))
+}
+
+func runServe(addr string) {
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if err := workload.Install(store, workload.WebCorpus()); err != nil {
+		fatal(err)
+	}
+	rt, err := vm.New(vm.DefaultConfig(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	rt.RegisterBCL()
+	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt})
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := srv.Start()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving benchmark corpus on %s (ctrl-c to stop)\n", bound)
+	for _, spec := range workload.WebCorpus() {
+		fmt.Printf("  GET /%s  (%d bytes)\n", spec.Name, spec.Size)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	printRecords(srv.Records())
+}
+
+func runLoad(target string, clients, requests int, posts bool) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lat metrics.Sample
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := webserver.Dial(target)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			corpus := workload.WebCorpus()
+			for i := 0; i < requests; i++ {
+				spec := corpus[(id+i)%len(corpus)]
+				var ioTime time.Duration
+				if posts && i%4 == 3 {
+					resp, err := cl.Post(spec.Name, workload.Payload(uint64(i), spec.Size))
+					if err != nil {
+						errs <- err
+						return
+					}
+					ioTime = resp.ServerIOTime
+				} else {
+					resp, err := cl.Get(spec.Name)
+					if err != nil {
+						errs <- err
+						return
+					}
+					ioTime = resp.ServerIOTime
+				}
+				mu.Lock()
+				lat.AddDuration(ioTime)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	total := clients * requests
+	fmt.Printf("%d requests from %d clients in %v (%.0f req/s)\n",
+		total, clients, elapsed, float64(total)/elapsed.Seconds())
+	fmt.Printf("server-side I/O time: mean %.4f ms, p50 %.4f ms, p99 %.4f ms\n",
+		lat.Mean(), lat.Quantile(0.5), lat.Quantile(0.99))
+	cdf := metrics.NewFigure("server I/O latency distribution", "quantile", "ms")
+	cdf.Add(lat.CDF(11))
+	fmt.Println(cdf.RenderLines(44, 8))
+}
+
+func printRecords(recs []webserver.RequestRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	fmt.Printf("served %d requests:\n", len(recs))
+	for i, r := range recs {
+		if i >= 20 {
+			fmt.Printf("  ... and %d more\n", len(recs)-20)
+			return
+		}
+		fmt.Printf("  %-4s %-16s %8d bytes  %.4f ms\n", r.Kind, r.File, r.Size, r.IOTimeMS())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "webbench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Custommodel shows how to author a new application with the §2
+// behavioral model and evaluate it on different machines — the workflow
+// the paper recommends: "application developers can leverage the model
+// ... to evaluate the performance of I/O- and communication-intensive
+// applications without spending a huge amount of time implementing the
+// applications."
+//
+// The example models a satellite-imagery pipeline: an ingest phase
+// (I/O-heavy), an iterative processing stage (CPU-heavy with
+// communication), and a result-writing phase (I/O-heavy) — then sweeps
+// disks and CPUs to decide which upgrade pays off.
+//
+//	go run ./examples/custommodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/appmodel"
+)
+
+func main() {
+	// Γ vectors: (I/O fraction φ, comm fraction γ, relative time ρ, phases τ).
+	pipeline := appmodel.Application{
+		Name: "imagery-pipeline",
+		Programs: []appmodel.Program{
+			{
+				Name: "worker",
+				Sets: []appmodel.WorkingSet{
+					{IOFrac: 0.85, CommFrac: 0.05, RelTime: 0.20, Phases: 1},  // ingest raw tiles
+					{IOFrac: 0.10, CommFrac: 0.30, RelTime: 0.05, Phases: 10}, // iterate: compute + halo exchange
+					{IOFrac: 0.90, CommFrac: 0.00, RelTime: 0.30, Phases: 1},  // write products
+				},
+			},
+			{
+				Name: "indexer",
+				Sets: []appmodel.WorkingSet{
+					{IOFrac: 0.60, CommFrac: 0.10, RelTime: 0.40, Phases: 1}, // build spatial index
+				},
+			},
+		},
+	}
+	if err := pipeline.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed-form requirements (Eq. 3-5).
+	req := pipeline.Requirements()
+	fmt.Printf("model requirements: R_CPU=%.3f R_Disk=%.3f R_COM=%.3f (relative units)\n\n",
+		req.CPU, req.Disk, req.Comm)
+
+	base := 60 * time.Second
+	baseline := appmodel.DefaultMachine()
+	sim := appmodel.MustNewSimulator(baseline, base)
+	res, err := sim.Run(pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (1 CPU, 1 disk): wall %v, CPU %.1f%%, IO %.1f%%, Comm %.1f%%\n\n",
+		res.Wall.Round(time.Millisecond),
+		res.App.CPUPercent(), res.App.IOPercent(), res.App.CommPercent())
+
+	// Which helps more, disks or CPUs? Sweep both.
+	counts := []int{2, 4, 8, 16, 32}
+	diskSpeedups, err := appmodel.Speedups(pipeline, baseline, base, counts,
+		func(m appmodel.Machine, n int) appmodel.Machine { return m.WithDisks(n) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuSpeedups, err := appmodel.Speedups(pipeline, baseline, base, counts,
+		func(m appmodel.Machine, n int) appmodel.Machine { return m.WithCPUs(n) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("count   disk speedup   CPU speedup")
+	for i, n := range counts {
+		fmt.Printf("%5d   %12.2f   %11.2f\n", n, diskSpeedups[i], cpuSpeedups[i])
+	}
+	fmt.Println()
+	if diskSpeedups[len(counts)-1] > cpuSpeedups[len(counts)-1] {
+		fmt.Println("verdict: this pipeline is I/O-bound — buy disks, not CPUs.")
+	} else {
+		fmt.Println("verdict: this pipeline is CPU-bound — buy CPUs, not disks.")
+	}
+
+	// Validate the simulation against the analytic evaluation, as §2.3
+	// does against a real implementation.
+	errRate, err := appmodel.SimulatorError(pipeline, baseline, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator-vs-analytic error: %.2f%%\n", errRate*100)
+}

@@ -1,0 +1,64 @@
+// Distributed runs the paper's §5 future-work benchmark: the web-server
+// workload in a multi-node environment. It sweeps client counts over a
+// LAN, shows the single-server saturation point, then demonstrates the
+// two remedies — replicating the server and moving to a faster fabric —
+// and finally the WAN case where the network dwarfs everything.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/distbench"
+	"repro/internal/netsim"
+)
+
+func main() {
+	cfg := distbench.DefaultConfig()
+	cfg.RequestsPerNode = 32
+
+	fmt.Println("LAN, one server:")
+	results, err := distbench.Sweep(cfg, distbench.NodeSweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(distbench.Table(results).Render())
+	fmt.Println(distbench.Figure(results).RenderLines(44, 8))
+
+	saturated := results[len(results)-1]
+
+	// Remedy 1: replicate the server.
+	replicated := cfg
+	replicated.Nodes = saturated.Nodes
+	replicated.Servers = 2
+	repRes, err := distbench.Run(replicated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at %d clients: 1 server %.0f req/s -> 2 servers %.0f req/s (%.2fx)\n",
+		saturated.Nodes, saturated.Throughput, repRes.Throughput,
+		repRes.Throughput/saturated.Throughput)
+
+	// Remedy 2: faster fabric (10x the LAN bandwidth).
+	fast := cfg
+	fast.Nodes = saturated.Nodes
+	fast.Net.Bandwidth *= 10
+	fastRes, err := distbench.Run(fast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at %d clients: 10x fabric bandwidth -> %.0f req/s (%.2fx)\n",
+		saturated.Nodes, fastRes.Throughput, fastRes.Throughput/saturated.Throughput)
+
+	// The WAN case: latency dominates and the curve flattens immediately.
+	wan := cfg
+	wan.Net = netsim.WANParams()
+	wanResults, err := distbench.Sweep(wan, []int{1, 4, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWAN, one server:")
+	fmt.Println(distbench.Table(wanResults).Render())
+}

@@ -1,0 +1,86 @@
+package appmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogAllValid(t *testing.T) {
+	apps := Catalog()
+	if len(apps) != 6 {
+		t.Fatalf("catalog has %d applications, want 6", len(apps))
+	}
+	names := map[string]bool{}
+	for _, app := range apps {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if names[app.Name] {
+			t.Errorf("duplicate name %s", app.Name)
+		}
+		names[app.Name] = true
+	}
+	for _, want := range []string{"QCRD", "Dmine", "Pgrep", "LU", "Titan", "Cholesky"} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}
+
+func TestCatalogByName(t *testing.T) {
+	app, ok := CatalogByName("Titan")
+	if !ok || app.Name != "Titan" {
+		t.Fatalf("CatalogByName(Titan) = %+v, %v", app.Name, ok)
+	}
+	if _, ok := CatalogByName("NotAnApp"); ok {
+		t.Fatal("unknown app found")
+	}
+}
+
+func TestCatalogAppsAreIOIntensive(t *testing.T) {
+	// Every catalog entry models an I/O-intensive application: disk
+	// requirements must be a substantial share (≥ 20%) of execution.
+	for _, app := range Catalog() {
+		r := app.Requirements()
+		frac := r.Disk / r.Total()
+		if frac < 0.20 {
+			t.Errorf("%s: I/O share %.1f%% too low for an I/O-intensive model",
+				app.Name, frac*100)
+		}
+	}
+}
+
+func TestCatalogAppsSimulate(t *testing.T) {
+	sim := MustNewSimulator(DefaultMachine(), 2*time.Second)
+	for _, app := range Catalog() {
+		res, err := sim.Run(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if res.Wall <= 0 {
+			t.Errorf("%s: zero wall time", app.Name)
+		}
+	}
+}
+
+func TestPgrepScalesWithDisksBetterThanQCRD(t *testing.T) {
+	// Pgrep is nearly pure parallel I/O; its disk speedup must beat
+	// QCRD's — the kind of cross-application conclusion the model is
+	// built to support.
+	base := 2 * time.Second
+	machine := DefaultMachine()
+	pgrep, _ := CatalogByName("Pgrep")
+	qcrdUp, err := Speedups(QCRD(), machine.WithDisks(1), base, []int{8},
+		func(m Machine, n int) Machine { return m.WithDisks(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgrepUp, err := Speedups(pgrep, machine.WithDisks(1), base, []int{8},
+		func(m Machine, n int) Machine { return m.WithDisks(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pgrepUp[0] <= qcrdUp[0] {
+		t.Fatalf("Pgrep 8-disk speedup %.2f not above QCRD's %.2f", pgrepUp[0], qcrdUp[0])
+	}
+}

@@ -1,0 +1,165 @@
+package appmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DiskSweep and CPUSweep are the resource counts of Figures 4 and 5.
+var (
+	DiskSweep = []int{2, 4, 8, 16, 32}
+	CPUSweep  = []int{2, 4, 8, 16, 32}
+)
+
+// Figure2 runs QCRD on the machine and renders the paper's Figure 2:
+// absolute CPU and disk-I/O execution time for the application and its
+// two programs.
+func Figure2(machine Machine, base time.Duration) (*metrics.Figure, Result, error) {
+	sim, err := NewSimulator(machine, base)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res, err := sim.Run(QCRD())
+	if err != nil {
+		return nil, Result{}, err
+	}
+	labels := []string{"Application"}
+	cpu := []float64{res.App.CPU.Seconds()}
+	io := []float64{res.App.IO.Seconds()}
+	for _, pr := range res.Programs {
+		labels = append(labels, pr.Name)
+		cpu = append(cpu, pr.CPU.Seconds())
+		io = append(io, pr.IO.Seconds())
+	}
+	fig := metrics.NewFigure(
+		"Figure 2. Execution time of computation and disk I/O for the QCRD application and two programs",
+		"component", "Execution Time (Sec.)")
+	fig.Add(metrics.NewSeries("CPU", labels, cpu))
+	fig.Add(metrics.NewSeries("IO", labels, io))
+	return fig, res, nil
+}
+
+// Figure3 renders the paper's Figure 3: the same split as percentages.
+func Figure3(machine Machine, base time.Duration) (*metrics.Figure, Result, error) {
+	sim, err := NewSimulator(machine, base)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res, err := sim.Run(QCRD())
+	if err != nil {
+		return nil, Result{}, err
+	}
+	labels := []string{"Application"}
+	cpu := []float64{res.App.CPUPercent()}
+	io := []float64{res.App.IOPercent()}
+	for _, pr := range res.Programs {
+		labels = append(labels, pr.Name)
+		cpu = append(cpu, pr.CPUPercent())
+		io = append(io, pr.IOPercent())
+	}
+	fig := metrics.NewFigure(
+		"Figure 3. Percentage of execution time for computation and disk I/O",
+		"component", "Percentage (%)")
+	fig.Add(metrics.NewSeries("CPU", labels, cpu))
+	fig.Add(metrics.NewSeries("IO", labels, io))
+	return fig, res, nil
+}
+
+// Speedups runs the application on variants of machine produced by
+// configure(count) for each count, and returns wall-time speedups
+// relative to the baseline machine.
+func Speedups(app Application, baseline Machine, base time.Duration, counts []int, configure func(Machine, int) Machine) ([]float64, error) {
+	baseSim, err := NewSimulator(baseline, base)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := baseSim.Run(app)
+	if err != nil {
+		return nil, err
+	}
+	if baseRes.Wall <= 0 {
+		return nil, fmt.Errorf("appmodel: baseline wall time is zero")
+	}
+	out := make([]float64, 0, len(counts))
+	for _, n := range counts {
+		sim, err := NewSimulator(configure(baseline, n), base)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(baseRes.Wall)/float64(res.Wall))
+	}
+	return out, nil
+}
+
+// Figure4 renders the paper's Figure 4: QCRD speedup as a function of the
+// number of disks (baseline: the given machine with one disk).
+func Figure4(machine Machine, base time.Duration) (*metrics.Figure, []float64, error) {
+	baseline := machine.WithDisks(1)
+	speedups, err := Speedups(QCRD(), baseline, base, DiskSweep,
+		func(m Machine, n int) Machine { return m.WithDisks(n) })
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]string, len(DiskSweep))
+	for i, n := range DiskSweep {
+		labels[i] = fmt.Sprintf("%d", n)
+	}
+	fig := metrics.NewFigure(
+		"Figure 4. Speedup of the application as a function of the number of disks",
+		"Number of Disks", "Speedup")
+	fig.Add(metrics.NewSeries("speedup", labels, speedups))
+	return fig, speedups, nil
+}
+
+// Figure5 renders the paper's Figure 5: QCRD speedup as a function of the
+// number of CPUs (baseline: the given machine with one CPU).
+func Figure5(machine Machine, base time.Duration) (*metrics.Figure, []float64, error) {
+	baseline := machine.WithCPUs(1)
+	speedups, err := Speedups(QCRD(), baseline, base, CPUSweep,
+		func(m Machine, n int) Machine { return m.WithCPUs(n) })
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]string, len(CPUSweep))
+	for i, n := range CPUSweep {
+		labels[i] = fmt.Sprintf("%d", n)
+	}
+	fig := metrics.NewFigure(
+		"Figure 5. Speedup of the application as a function of the number of CPUs",
+		"Number of Processors", "Speedup")
+	fig.Add(metrics.NewSeries("speedup", labels, speedups))
+	return fig, speedups, nil
+}
+
+// SimulatorError returns the relative difference between the simulator's
+// and the closed-form analytic wall times for the application — the
+// reproduction's analog of the paper's <10% model-vs-implementation error
+// check (§2.3).
+func SimulatorError(app Application, machine Machine, base time.Duration) (float64, error) {
+	sim, err := NewSimulator(machine, base)
+	if err != nil {
+		return 0, err
+	}
+	simRes, err := sim.Run(app)
+	if err != nil {
+		return 0, err
+	}
+	anaRes, err := Analytic(app, machine, base)
+	if err != nil {
+		return 0, err
+	}
+	if anaRes.Wall == 0 {
+		return 0, fmt.Errorf("appmodel: analytic wall time is zero")
+	}
+	diff := float64(simRes.Wall-anaRes.Wall) / float64(anaRes.Wall)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff, nil
+}

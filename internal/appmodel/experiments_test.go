@@ -1,0 +1,110 @@
+package appmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure2Shape(t *testing.T) {
+	fig, res, err := Figure2(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.RenderBars(30)
+	for _, want := range []string{"Figure 2", "Application", "Program1", "Program2", "CPU", "IO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+	// §2.3: the application spends a noticeably large amount of time on
+	// I/O — at least a quarter of its execution.
+	if res.App.IOPercent() < 25 {
+		t.Fatalf("application I/O share %.1f%% too small", res.App.IOPercent())
+	}
+}
+
+func TestFigure3PercentagesSum(t *testing.T) {
+	fig, res, err := Figure3(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want CPU and IO series, got %d", len(fig.Series))
+	}
+	cpu, io := fig.Series[0].Values, fig.Series[1].Values
+	for i := range cpu {
+		sum := cpu[i] + io[i]
+		// QCRD has no communication, so CPU% + IO% ≈ 100%.
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("label %d: CPU%%+IO%% = %v, want 100", i, sum)
+		}
+	}
+	_ = res
+}
+
+func TestFigure4DiskSpeedupShape(t *testing.T) {
+	_, speedups, err := Figure4(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(speedups) != len(DiskSweep) {
+		t.Fatalf("got %d speedups", len(speedups))
+	}
+	// Paper Figure 4: speedup changes only slightly with disk count —
+	// all values within [0.9, 1.5], and non-decreasing.
+	for i, s := range speedups {
+		if s < 0.9 || s > 1.5 {
+			t.Errorf("disk speedup[%d] = %.3f outside the paper's flat band", i, s)
+		}
+		if i > 0 && s+1e-9 < speedups[i-1] {
+			t.Errorf("disk speedup decreased: %.3f -> %.3f", speedups[i-1], s)
+		}
+	}
+}
+
+func TestFigure5CPUSpeedupShape(t *testing.T) {
+	_, speedups, err := Figure5(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 5: speedup rises clearly with CPUs, reaching ~2.1-2.4
+	// at 32; it must dominate the disk curve.
+	last := speedups[len(speedups)-1]
+	if last < 1.8 || last > 2.6 {
+		t.Fatalf("32-CPU speedup %.3f outside the paper's 2.1-2.4 band (±tolerance)", last)
+	}
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] < speedups[i-1] {
+			t.Fatalf("CPU speedup not monotone: %v", speedups)
+		}
+	}
+	if speedups[0] < 1.2 {
+		t.Fatalf("2-CPU speedup %.3f shows no benefit", speedups[0])
+	}
+}
+
+func TestCPUSpeedupExceedsDiskSpeedup(t *testing.T) {
+	// §2.3's argument: program 1 is CPU-bound, so CPUs help QCRD more
+	// than disks do.
+	_, disks, err := Figure4(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cpus, err := Figure5(DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpus[len(cpus)-1] <= disks[len(disks)-1] {
+		t.Fatalf("CPU speedup %.3f not above disk speedup %.3f",
+			cpus[len(cpus)-1], disks[len(disks)-1])
+	}
+}
+
+func TestSpeedupsRejectsBadBaseline(t *testing.T) {
+	bad := DefaultMachine()
+	bad.NumCPUs = 0
+	if _, err := Speedups(QCRD(), bad, testBase, []int{2},
+		func(m Machine, n int) Machine { return m }); err == nil {
+		t.Fatal("invalid baseline accepted")
+	}
+}

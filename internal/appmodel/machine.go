@@ -1,0 +1,105 @@
+package appmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// Machine describes the simulated node an application executes on: a CPU
+// pool, a striped disk array, and an interconnect. The Figure 4 and 5
+// experiments sweep NumDisks and NumCPUs respectively.
+type Machine struct {
+	// NumCPUs is the processor count (Figure 5 sweeps 2-32).
+	NumCPUs int
+	// CPUParFrac is the Amdahl parallelizable fraction of every CPU burst.
+	// The paper's QCRD speedup topping out near 2.4 at 32 CPUs implies a
+	// fraction around 0.6-0.75; the default is 0.75.
+	CPUParFrac float64
+	// NumDisks is the disk-array width (Figure 4 sweeps 2-32).
+	NumDisks int
+	// StripeUnit is the array stripe unit in bytes.
+	StripeUnit int64
+	// Disk parameterizes each member disk.
+	Disk simdisk.Params
+	// IOQueueDepth is how many concurrent I/O streams a program sustains
+	// during an I/O burst. Disk-array speedup saturates at this depth —
+	// the reason Figure 4 is nearly flat.
+	IOQueueDepth int
+	// IORequestSize is the size of each disk request in an I/O burst.
+	IORequestSize int64
+	// NetLatency is the per-burst message latency of the interconnect.
+	NetLatency time.Duration
+}
+
+// DefaultMachine returns the baseline configuration: one CPU, one
+// realistic 2003-era disk, queue depth 6, 64 KB requests.
+func DefaultMachine() Machine {
+	return Machine{
+		NumCPUs:       1,
+		CPUParFrac:    0.75,
+		NumDisks:      1,
+		StripeUnit:    64 << 10,
+		Disk:          simdisk.DefaultParams(),
+		IOQueueDepth:  6,
+		IORequestSize: 64 << 10,
+		NetLatency:    100 * time.Microsecond,
+	}
+}
+
+// Validate reports the first problem with the machine, or nil.
+func (m Machine) Validate() error {
+	switch {
+	case m.NumCPUs < 1:
+		return fmt.Errorf("appmodel: machine needs at least 1 CPU, got %d", m.NumCPUs)
+	case m.CPUParFrac < 0 || m.CPUParFrac > 1:
+		return fmt.Errorf("appmodel: CPU parallel fraction %v outside [0,1]", m.CPUParFrac)
+	case m.NumDisks < 1:
+		return fmt.Errorf("appmodel: machine needs at least 1 disk, got %d", m.NumDisks)
+	case m.StripeUnit <= 0:
+		return fmt.Errorf("appmodel: stripe unit %d must be positive", m.StripeUnit)
+	case m.IOQueueDepth < 1:
+		return fmt.Errorf("appmodel: I/O queue depth %d must be at least 1", m.IOQueueDepth)
+	case m.IORequestSize <= 0:
+		return fmt.Errorf("appmodel: I/O request size %d must be positive", m.IORequestSize)
+	case m.NetLatency < 0:
+		return fmt.Errorf("appmodel: negative network latency %v", m.NetLatency)
+	}
+	return m.Disk.Validate()
+}
+
+// WithCPUs returns a copy with NumCPUs set to n.
+func (m Machine) WithCPUs(n int) Machine { m.NumCPUs = n; return m }
+
+// WithDisks returns a copy with NumDisks set to n.
+func (m Machine) WithDisks(n int) Machine { m.NumDisks = n; return m }
+
+// singleStreamRate returns the sustained byte rate of one sequential I/O
+// stream on one member disk: request size over per-request service time
+// (controller overhead + media transfer; sequential access pays neither
+// seek nor rotational delay in the model). The simulator uses it to
+// convert an I/O burst's nominal duration into a byte volume.
+func (m Machine) singleStreamRate() float64 {
+	xfer := float64(m.IORequestSize) / m.Disk.TransferRate // seconds
+	service := m.Disk.ControllerOverhead.Seconds() + xfer
+	return float64(m.IORequestSize) / service
+}
+
+// cpuBurst returns the duration of a CPU burst of nominal length t on
+// this machine, applying Amdahl's law over NumCPUs.
+func (m Machine) cpuBurst(t time.Duration) time.Duration {
+	p := float64(m.NumCPUs)
+	factor := (1 - m.CPUParFrac) + m.CPUParFrac/p
+	return time.Duration(float64(t) * factor)
+}
+
+// commBurst returns the duration of a communication burst of nominal
+// length t: interconnect latency plus the bandwidth-bound payload time,
+// which does not scale with CPUs or disks.
+func (m Machine) commBurst(t time.Duration) time.Duration {
+	if t <= 0 {
+		return 0
+	}
+	return m.NetLatency + t
+}

@@ -1,0 +1,231 @@
+// Package appmodel implements the paper's primary contribution: the
+// application behavioral model of §2 (extended from Rosti et al.) and the
+// benchmark built on it.
+//
+// A parallel application is a set of programs executing in a coordinated
+// manner; each program is a sequence of working sets; each working set
+// Γᵢ = (φᵢ, γᵢ, ρᵢ, τᵢ) describes τᵢ statistically identical phases with
+// I/O fraction φᵢ, communication fraction γᵢ and relative execution time
+// ρᵢ. A phase is an I/O burst followed by a computation burst and possibly
+// a communication burst (Eq. 1):
+//
+//	Tⁱ = Tⁱ_CPU + Tⁱ_COM + Tⁱ_Disk
+//
+// The package provides the model types with validation, the closed-form
+// resource-requirement equations (Eq. 2-5), the QCRD instantiation
+// (qcrd.go), a discrete-event simulator that executes a modelled
+// application against simulated CPUs/disks/network (sim.go), and the
+// experiment drivers that regenerate the paper's Figures 2-5
+// (experiments.go).
+package appmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// WorkingSet is one Γᵢ = (φᵢ, γᵢ, ρᵢ, τᵢ) tuple: a run of Phases
+// statistically identical phases.
+type WorkingSet struct {
+	// IOFrac (φ) is the fraction of each phase spent in the I/O burst.
+	IOFrac float64
+	// CommFrac (γ) is the fraction spent in the communication burst.
+	CommFrac float64
+	// RelTime (ρ) is the ratio of one phase's execution time to the
+	// program's total execution time.
+	RelTime float64
+	// Phases (τ) is the number of consecutive identical phases.
+	Phases int
+}
+
+// Validate reports the first problem with the working set, or nil.
+func (w WorkingSet) Validate() error {
+	switch {
+	case w.IOFrac < 0 || w.IOFrac > 1:
+		return fmt.Errorf("appmodel: I/O fraction %v outside [0,1]", w.IOFrac)
+	case w.CommFrac < 0 || w.CommFrac > 1:
+		return fmt.Errorf("appmodel: communication fraction %v outside [0,1]", w.CommFrac)
+	case w.IOFrac+w.CommFrac > 1:
+		return fmt.Errorf("appmodel: φ+γ = %v exceeds 1", w.IOFrac+w.CommFrac)
+	case w.RelTime < 0:
+		return fmt.Errorf("appmodel: relative time %v negative", w.RelTime)
+	case w.Phases < 1:
+		return fmt.Errorf("appmodel: phase count %d must be at least 1", w.Phases)
+	}
+	return nil
+}
+
+// CPUFrac returns the computation fraction 1-φ-γ of each phase.
+func (w WorkingSet) CPUFrac() float64 { return 1 - w.IOFrac - w.CommFrac }
+
+// Program is one ~Γ vector: a named sequence of working sets executed on
+// one node of the application.
+type Program struct {
+	Name string
+	Sets []WorkingSet
+}
+
+// Validate reports the first problem with the program, or nil.
+func (p Program) Validate() error {
+	if len(p.Sets) == 0 {
+		return fmt.Errorf("appmodel: program %q has no working sets", p.Name)
+	}
+	for i, w := range p.Sets {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("appmodel: program %q set %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// NumPhases returns N, the total phase count Σ τᵢ.
+func (p Program) NumPhases() int {
+	n := 0
+	for _, w := range p.Sets {
+		n += w.Phases
+	}
+	return n
+}
+
+// TotalRelTime returns Σ ρᵢ·τᵢ, the program's execution time in relative
+// units. Eq. 2 in absolute terms is TotalRelTime × the base time.
+func (p Program) TotalRelTime() float64 {
+	total := 0.0
+	for _, w := range p.Sets {
+		total += w.RelTime * float64(w.Phases)
+	}
+	return total
+}
+
+// Requirements holds the resource requirements of Eq. 3-5 in relative
+// units (multiply by the base time for absolute durations).
+type Requirements struct {
+	CPU  float64 // R_CPU  (Eq. 3)
+	Disk float64 // R_Disk (Eq. 4)
+	Comm float64 // R_COM  (Eq. 5)
+}
+
+// Total returns R_CPU + R_Disk + R_COM, which equals TotalRelTime.
+func (r Requirements) Total() float64 { return r.CPU + r.Disk + r.Comm }
+
+// Requirements evaluates Eq. 3-5 for the program.
+func (p Program) Requirements() Requirements {
+	var r Requirements
+	for _, w := range p.Sets {
+		phase := w.RelTime * float64(w.Phases)
+		r.Disk += phase * w.IOFrac
+		r.Comm += phase * w.CommFrac
+		r.CPU += phase * w.CPUFrac()
+	}
+	return r
+}
+
+// Normalized returns a copy of the program with ρ values scaled so that
+// TotalRelTime is exactly 1, making ρ the true "fraction of program time"
+// the model text describes. A zero-time program is returned unchanged.
+func (p Program) Normalized() Program {
+	total := p.TotalRelTime()
+	if total == 0 {
+		return p
+	}
+	out := Program{Name: p.Name, Sets: make([]WorkingSet, len(p.Sets))}
+	copy(out.Sets, p.Sets)
+	for i := range out.Sets {
+		out.Sets[i].RelTime /= total
+	}
+	return out
+}
+
+// Application is a set of interdependent programs that execute in a
+// coordinated manner, one per node.
+type Application struct {
+	Name     string
+	Programs []Program
+}
+
+// Validate reports the first problem with the application, or nil.
+func (a Application) Validate() error {
+	if len(a.Programs) == 0 {
+		return fmt.Errorf("appmodel: application %q has no programs", a.Name)
+	}
+	for _, p := range a.Programs {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("appmodel: application %q: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// Requirements sums Eq. 3-5 across programs.
+func (a Application) Requirements() Requirements {
+	var total Requirements
+	for _, p := range a.Programs {
+		r := p.Requirements()
+		total.CPU += r.CPU
+		total.Disk += r.Disk
+		total.Comm += r.Comm
+	}
+	return total
+}
+
+// MaxRelTime returns the largest program TotalRelTime — the application's
+// makespan in relative units when programs run concurrently.
+func (a Application) MaxRelTime() float64 {
+	max := 0.0
+	for _, p := range a.Programs {
+		if t := p.TotalRelTime(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Breakdown is the absolute CPU/IO/Comm split for one program or an
+// application, as plotted in Figures 2 and 3.
+type Breakdown struct {
+	Name string
+	CPU  time.Duration
+	IO   time.Duration
+	Comm time.Duration
+}
+
+// Total returns the summed execution time.
+func (b Breakdown) Total() time.Duration { return b.CPU + b.IO + b.Comm }
+
+// CPUPercent returns CPU time as a percentage of the total.
+func (b Breakdown) CPUPercent() float64 {
+	if b.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(b.CPU) / float64(b.Total())
+}
+
+// IOPercent returns disk time as a percentage of the total.
+func (b Breakdown) IOPercent() float64 {
+	if b.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(b.IO) / float64(b.Total())
+}
+
+// CommPercent returns communication time as a percentage of the total.
+func (b Breakdown) CommPercent() float64 {
+	if b.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(b.Comm) / float64(b.Total())
+}
+
+// AnalyticBreakdown converts the program's requirements to absolute times
+// for a given base time (the absolute duration corresponding to one
+// relative unit), with no resource contention — the closed-form
+// single-CPU single-disk evaluation.
+func (p Program) AnalyticBreakdown(base time.Duration) Breakdown {
+	r := p.Requirements()
+	return Breakdown{
+		Name: p.Name,
+		CPU:  time.Duration(r.CPU * float64(base)),
+		IO:   time.Duration(r.Disk * float64(base)),
+		Comm: time.Duration(r.Comm * float64(base)),
+	}
+}

@@ -1,0 +1,223 @@
+package appmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWorkingSetValidate(t *testing.T) {
+	good := WorkingSet{IOFrac: 0.5, CommFrac: 0.3, RelTime: 0.1, Phases: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	cases := []WorkingSet{
+		{IOFrac: -0.1, RelTime: 0.1, Phases: 1},
+		{IOFrac: 1.1, RelTime: 0.1, Phases: 1},
+		{CommFrac: -0.1, RelTime: 0.1, Phases: 1},
+		{IOFrac: 0.6, CommFrac: 0.6, RelTime: 0.1, Phases: 1}, // φ+γ > 1
+		{IOFrac: 0.5, RelTime: -0.1, Phases: 1},
+		{IOFrac: 0.5, RelTime: 0.1, Phases: 0},
+	}
+	for i, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d: invalid set %+v accepted", i, w)
+		}
+	}
+}
+
+func TestCPUFracIdentity(t *testing.T) {
+	// Eq. 1: the three fractions of a phase must sum to 1.
+	f := func(io, comm uint8) bool {
+		w := WorkingSet{
+			IOFrac:   float64(io) / 512, // ≤ ~0.5
+			CommFrac: float64(comm) / 512,
+			RelTime:  0.1,
+			Phases:   1,
+		}
+		return almostEqual(w.IOFrac+w.CommFrac+w.CPUFrac(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramRequirementsIdentity(t *testing.T) {
+	// Eq. 2-5: R_CPU + R_Disk + R_COM must equal total relative time.
+	p := FigureExample()
+	r := p.Requirements()
+	if !almostEqual(r.Total(), p.TotalRelTime(), 1e-12) {
+		t.Fatalf("requirements total %v != program total %v", r.Total(), p.TotalRelTime())
+	}
+}
+
+func TestFigureExampleNumbers(t *testing.T) {
+	p := FigureExample()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NumPhases(); got != 5 {
+		t.Fatalf("NumPhases = %d, want 5 (Figure 1 has N=5)", got)
+	}
+	// Σ ρᵢ·τᵢ = 0.287 + 2(0.185) + 0.194 + 0.148 = 0.999.
+	if got := p.TotalRelTime(); !almostEqual(got, 0.999, 1e-9) {
+		t.Fatalf("TotalRelTime = %v, want 0.999", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	p := FigureExample().Normalized()
+	if got := p.TotalRelTime(); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("normalized total = %v, want 1", got)
+	}
+	// Normalizing must not change the CPU/IO/Comm proportions.
+	orig, norm := FigureExample().Requirements(), p.Requirements()
+	if !almostEqual(orig.Disk/orig.Total(), norm.Disk/norm.Total(), 1e-12) {
+		t.Fatal("normalization changed I/O proportion")
+	}
+}
+
+func TestNormalizedZeroProgram(t *testing.T) {
+	p := Program{Name: "z", Sets: []WorkingSet{{RelTime: 0, Phases: 1}}}
+	if got := p.Normalized().TotalRelTime(); got != 0 {
+		t.Fatalf("zero program normalized to %v", got)
+	}
+}
+
+func TestNormalizationInvariantProperty(t *testing.T) {
+	f := func(rels []uint16) bool {
+		if len(rels) == 0 {
+			return true
+		}
+		p := Program{Name: "q"}
+		for _, r := range rels {
+			p.Sets = append(p.Sets, WorkingSet{
+				IOFrac:  0.3,
+				RelTime: float64(r) / 1000,
+				Phases:  1 + int(r%4),
+			})
+		}
+		if p.TotalRelTime() == 0 {
+			return true
+		}
+		n := p.Normalized()
+		return almostEqual(n.TotalRelTime(), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQCRDStructure(t *testing.T) {
+	app := QCRD()
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Programs) != 2 {
+		t.Fatalf("QCRD has %d programs, want 2 (Eq. 8)", len(app.Programs))
+	}
+	p1, p2 := app.Programs[0], app.Programs[1]
+	if got := p1.NumPhases(); got != 24 {
+		t.Fatalf("program 1 has %d phases, want 24 (Eq. 9)", got)
+	}
+	if got := p2.NumPhases(); got != 13 {
+		t.Fatalf("program 2 has %d phases, want 13 (Eq. 10)", got)
+	}
+	// Eq. 9: odd phases (0.14, 0, 0.066, 1), even phases (0.97, 0, 0.0082, 1).
+	for i, w := range p1.Sets {
+		if i%2 == 0 {
+			if w.IOFrac != 0.14 || w.RelTime != 0.066 {
+				t.Fatalf("set %d = %+v, want (0.14, 0, 0.066, 1)", i, w)
+			}
+		} else {
+			if w.IOFrac != 0.97 || w.RelTime != 0.0082 {
+				t.Fatalf("set %d = %+v, want (0.97, 0, 0.0082, 1)", i, w)
+			}
+		}
+	}
+	if w := p2.Sets[0]; w.IOFrac != 0.92 || w.RelTime != 0.03 || w.Phases != 13 {
+		t.Fatalf("program 2 set = %+v, want (0.92, 0, 0.03, 13)", w)
+	}
+}
+
+func TestQCRDProgram2MoreIOIntensive(t *testing.T) {
+	// §2.3: "the I/O activities in the second program is more intensive
+	// compared with that in the first program".
+	app := QCRD()
+	r1 := app.Programs[0].Requirements()
+	r2 := app.Programs[1].Requirements()
+	frac1 := r1.Disk / r1.Total()
+	frac2 := r2.Disk / r2.Total()
+	if frac2 <= frac1 {
+		t.Fatalf("program 2 I/O fraction %v not above program 1's %v", frac2, frac1)
+	}
+}
+
+func TestQCRDProgram1RunsLonger(t *testing.T) {
+	// §2.3: "the first program runs longer than the second program".
+	app := QCRD()
+	if app.Programs[0].TotalRelTime() <= app.Programs[1].TotalRelTime() {
+		t.Fatal("program 1 does not dominate")
+	}
+}
+
+func TestApplicationValidate(t *testing.T) {
+	if err := (Application{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty application accepted")
+	}
+	bad := Application{Name: "bad", Programs: []Program{{Name: "p"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("application with empty program accepted")
+	}
+}
+
+func TestBreakdownPercentages(t *testing.T) {
+	b := Breakdown{CPU: 60 * time.Second, IO: 30 * time.Second, Comm: 10 * time.Second}
+	if !almostEqual(b.CPUPercent(), 60, 1e-9) || !almostEqual(b.IOPercent(), 30, 1e-9) || !almostEqual(b.CommPercent(), 10, 1e-9) {
+		t.Fatalf("percentages = %v/%v/%v", b.CPUPercent(), b.IOPercent(), b.CommPercent())
+	}
+	var zero Breakdown
+	if zero.CPUPercent() != 0 || zero.IOPercent() != 0 || zero.CommPercent() != 0 {
+		t.Fatal("zero breakdown percentages must be 0")
+	}
+}
+
+func TestAnalyticBreakdownScalesWithBase(t *testing.T) {
+	p := FigureExample()
+	b1 := p.AnalyticBreakdown(100 * time.Second)
+	b2 := p.AnalyticBreakdown(200 * time.Second)
+	// Allow nanosecond slop from float→Duration truncation.
+	within := func(a, b time.Duration) bool {
+		d := a - b
+		return d >= -2 && d <= 2
+	}
+	if !within(b2.CPU, 2*b1.CPU) || !within(b2.IO, 2*b1.IO) || !within(b2.Comm, 2*b1.Comm) {
+		t.Fatalf("breakdown not linear in base: %+v vs %+v", b1, b2)
+	}
+}
+
+func TestApplicationRequirementsSum(t *testing.T) {
+	app := QCRD()
+	total := app.Requirements()
+	var sum Requirements
+	for _, p := range app.Programs {
+		r := p.Requirements()
+		sum.CPU += r.CPU
+		sum.Disk += r.Disk
+		sum.Comm += r.Comm
+	}
+	if total != sum {
+		t.Fatalf("application requirements %+v != program sum %+v", total, sum)
+	}
+}
+
+func TestMaxRelTime(t *testing.T) {
+	app := QCRD()
+	want := app.Programs[0].TotalRelTime() // program 1 dominates
+	if got := app.MaxRelTime(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("MaxRelTime = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,57 @@
+package appmodel
+
+import "time"
+
+// QCRD returns the paper's instantiation of the behavioral model for the
+// QCRD quantum chemical reaction dynamics application (§2.2), which
+// solves the Schrödinger equation for atom–diatomic-molecule scattering
+// cross sections.
+//
+// The application consists of two independent programs (Eq. 8):
+//
+//   - Program 1 (Eq. 9): a sequence of CPU- and I/O-intensive phases
+//     repeated 12 times — 24 phases alternating
+//     Γ = (0.14, 0, 0.066, 1) for odd phases and
+//     Γ = (0.97, 0, 0.0082, 1) for even phases.
+//   - Program 2 (Eq. 10): 13 identical, more I/O-intensive phases
+//     Γ = (0.92, 0, 0.03, 13).
+func QCRD() Application {
+	var sets1 []WorkingSet
+	for i := 0; i < 12; i++ {
+		sets1 = append(sets1,
+			WorkingSet{IOFrac: 0.14, CommFrac: 0, RelTime: 0.066, Phases: 1},
+			WorkingSet{IOFrac: 0.97, CommFrac: 0, RelTime: 0.0082, Phases: 1},
+		)
+	}
+	return Application{
+		Name: "QCRD",
+		Programs: []Program{
+			{Name: "Program1", Sets: sets1},
+			{Name: "Program2", Sets: []WorkingSet{
+				{IOFrac: 0.92, CommFrac: 0, RelTime: 0.03, Phases: 13},
+			}},
+		},
+	}
+}
+
+// QCRDBaseTime is the absolute duration of one relative model unit used
+// by the Figure 2-5 experiments. It is calibrated so the simulated
+// application's wall time lands near the paper's ~170 s scale
+// (program 1 ≈ 0.89 relative units, program 2 ≈ 0.39).
+const QCRDBaseTime = 190 * time.Second
+
+// FigureExample returns the five-working-set example program of Figure 1,
+// used by tests and the custommodel example:
+// ~Γ = [(0.52, 0.29, 0.287, 1), (0, 0.85, 0.185, 2), (0, 0.57, 0.194, 1),
+// (0.81, 0, 0.148, 1)].
+func FigureExample() Program {
+	return Program{
+		Name: "Figure1Example",
+		Sets: []WorkingSet{
+			{IOFrac: 0.52, CommFrac: 0.29, RelTime: 0.287, Phases: 1},
+			{IOFrac: 0, CommFrac: 0.85, RelTime: 0.185, Phases: 2},
+			{IOFrac: 0, CommFrac: 0.57, RelTime: 0.194, Phases: 1},
+			{IOFrac: 0.81, CommFrac: 0, RelTime: 0.148, Phases: 1},
+		},
+	}
+}

@@ -1,0 +1,230 @@
+package appmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// ProgramResult is the measured execution of one program on the machine.
+type ProgramResult struct {
+	Breakdown
+	// Wall is the program's end-to-end time (== Breakdown.Total(): bursts
+	// within a program are strictly sequential).
+	Wall time.Duration
+	// Requests is the number of disk requests the program issued.
+	Requests int64
+}
+
+// Result is the measured execution of an application.
+type Result struct {
+	// App aggregates the per-program breakdowns (the resource
+	// requirements view plotted as the "Application" bars of Figs. 2-3).
+	App Breakdown
+	// Wall is the application makespan: programs run concurrently on
+	// separate nodes, so it is the slowest program's wall time.
+	Wall time.Duration
+	// Programs holds per-program results in application order.
+	Programs []ProgramResult
+}
+
+// Simulator executes behavioral-model applications on a simulated
+// machine. Each program gets its own disk array (programs run on separate
+// nodes); CPU and communication bursts use the machine's closed-form
+// burst models while I/O bursts are executed request by request against
+// the simdisk array.
+type Simulator struct {
+	machine Machine
+	base    time.Duration
+}
+
+// NewSimulator builds a simulator for the given machine and base time
+// (the absolute duration of one relative model unit).
+func NewSimulator(machine Machine, base time.Duration) (*Simulator, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("appmodel: base time %v must be positive", base)
+	}
+	return &Simulator{machine: machine, base: base}, nil
+}
+
+// MustNewSimulator panics on configuration error.
+func MustNewSimulator(machine Machine, base time.Duration) *Simulator {
+	s, err := NewSimulator(machine, base)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Machine returns the simulated machine.
+func (s *Simulator) Machine() Machine { return s.machine }
+
+// Run executes the application and returns its measured result.
+func (s *Simulator) Run(app Application) (Result, error) {
+	if err := app.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, prog := range app.Programs {
+		pr := s.runProgram(prog)
+		res.Programs = append(res.Programs, pr)
+		res.App.CPU += pr.CPU
+		res.App.IO += pr.IO
+		res.App.Comm += pr.Comm
+		if pr.Wall > res.Wall {
+			res.Wall = pr.Wall
+		}
+	}
+	res.App.Name = app.Name
+	return res, nil
+}
+
+// runProgram executes one program on a fresh node.
+func (s *Simulator) runProgram(prog Program) ProgramResult {
+	array := simdisk.MustNewArray(s.machine.NumDisks, s.machine.StripeUnit, s.machine.Disk)
+	res := ProgramResult{Breakdown: Breakdown{Name: prog.Name}}
+	now := time.Unix(0, 0)
+	// The program sustains at most IOQueueDepth concurrent streams, and no
+	// more than one per member disk — a second stream on a disk would only
+	// thrash the head between regions. Each stream owns one member disk
+	// (coarse, file-per-disk placement) and scans it sequentially, the
+	// layout parallel out-of-core codes use.
+	nStreams := s.machine.IOQueueDepth
+	if s.machine.NumDisks < nStreams {
+		nStreams = s.machine.NumDisks
+	}
+	streams := make([]ioStream, nStreams)
+	for k := range streams {
+		streams[k].disk = array.Disk(k)
+	}
+
+	for _, set := range prog.Sets {
+		for phase := 0; phase < set.Phases; phase++ {
+			phaseTime := time.Duration(set.RelTime * float64(s.base))
+			ioNominal := time.Duration(float64(phaseTime) * set.IOFrac)
+			commNominal := time.Duration(float64(phaseTime) * set.CommFrac)
+			cpuNominal := phaseTime - ioNominal - commNominal
+
+			// I/O burst first (a phase is "an I/O burst followed by a
+			// computation burst and possibly a communication burst").
+			ioDone, nreq := s.ioBurst(now, ioNominal, streams)
+			res.IO += ioDone.Sub(now)
+			res.Requests += nreq
+			now = ioDone
+
+			cpu := s.machine.cpuBurst(cpuNominal)
+			res.CPU += cpu
+			now = now.Add(cpu)
+
+			comm := s.machine.commBurst(commNominal)
+			res.Comm += comm
+			now = now.Add(comm)
+		}
+	}
+	res.Wall = now.Sub(time.Unix(0, 0))
+	return res
+}
+
+// ioStream is one sequential I/O stream bound to a member disk.
+type ioStream struct {
+	disk *simdisk.Disk
+	pos  int64
+}
+
+// ioBurst converts a nominal I/O burst duration into a byte volume at the
+// single-stream reference rate and executes it as len(streams) concurrent
+// sequential scans, one per member disk. It returns the burst completion
+// time and the number of requests issued.
+func (s *Simulator) ioBurst(start time.Time, nominal time.Duration, streams []ioStream) (time.Time, int64) {
+	if nominal <= 0 {
+		return start, 0
+	}
+	volume := int64(nominal.Seconds() * s.machine.singleStreamRate())
+	if volume <= 0 {
+		return start, 0
+	}
+	reqSize := s.machine.IORequestSize
+	nRequests := volume / reqSize // the trailing partial request is folded into the last full one
+	if nRequests == 0 {
+		nRequests = 1
+	}
+	done := start
+	var issued int64
+	// Round-robin the requests across the streams; each stream is a
+	// dependent chain (a new request is issued when the previous one
+	// completes), so the burst keeps at most len(streams) requests in
+	// flight.
+	streamTime := make([]time.Time, len(streams))
+	for k := range streamTime {
+		streamTime[k] = start
+	}
+	for i := int64(0); i < nRequests; i++ {
+		k := i % int64(len(streams))
+		sz := reqSize
+		if i == nRequests-1 {
+			sz = volume - (nRequests-1)*reqSize // absorb the remainder
+		}
+		st := &streams[k]
+		if st.pos+sz >= st.disk.Params().Capacity {
+			st.pos = 0 // wrap: the scan restarts at the outer tracks
+		}
+		reqDone, _ := st.disk.Access(streamTime[k], simdisk.Request{
+			Offset: st.pos,
+			Length: sz,
+		})
+		st.pos += sz
+		streamTime[k] = reqDone
+		if reqDone.After(done) {
+			done = reqDone
+		}
+		issued++
+	}
+	return done, issued
+}
+
+// Analytic evaluates the application on the machine in closed form: CPU
+// bursts via Amdahl, I/O bursts via min(disks, queue depth) effective
+// streams, communication unchanged. The paper's §2.3 validates its
+// simulator against a real implementation at <10% error; our analog
+// validates the discrete-event simulator against this closed form.
+func Analytic(app Application, machine Machine, base time.Duration) (Result, error) {
+	if err := app.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	effStreams := machine.IOQueueDepth
+	if machine.NumDisks < effStreams {
+		effStreams = machine.NumDisks
+	}
+	var res Result
+	for _, prog := range app.Programs {
+		var pr ProgramResult
+		pr.Name = prog.Name
+		for _, set := range prog.Sets {
+			phaseTime := time.Duration(set.RelTime * float64(base))
+			io := time.Duration(float64(phaseTime) * set.IOFrac)
+			comm := time.Duration(float64(phaseTime) * set.CommFrac)
+			cpu := phaseTime - io - comm
+			n := time.Duration(set.Phases)
+			pr.IO += n * (io / time.Duration(effStreams))
+			pr.CPU += n * machine.cpuBurst(cpu)
+			pr.Comm += n * machine.commBurst(comm)
+		}
+		pr.Wall = pr.Total()
+		res.Programs = append(res.Programs, pr)
+		res.App.CPU += pr.CPU
+		res.App.IO += pr.IO
+		res.App.Comm += pr.Comm
+		if pr.Wall > res.Wall {
+			res.Wall = pr.Wall
+		}
+	}
+	res.App.Name = app.Name
+	return res, nil
+}

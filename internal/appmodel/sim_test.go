@@ -1,0 +1,200 @@
+package appmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// testBase keeps unit-test simulations fast; experiment-scale runs use
+// QCRDBaseTime.
+const testBase = 5 * time.Second
+
+func TestMachineValidate(t *testing.T) {
+	if err := DefaultMachine().Validate(); err != nil {
+		t.Fatalf("default machine invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Machine)
+	}{
+		{"zero cpus", func(m *Machine) { m.NumCPUs = 0 }},
+		{"bad par frac", func(m *Machine) { m.CPUParFrac = 1.5 }},
+		{"zero disks", func(m *Machine) { m.NumDisks = 0 }},
+		{"zero stripe", func(m *Machine) { m.StripeUnit = 0 }},
+		{"zero depth", func(m *Machine) { m.IOQueueDepth = 0 }},
+		{"zero reqsize", func(m *Machine) { m.IORequestSize = 0 }},
+		{"neg latency", func(m *Machine) { m.NetLatency = -1 }},
+		{"bad disk", func(m *Machine) { m.Disk.RPM = 0 }},
+	}
+	for _, tc := range cases {
+		m := DefaultMachine()
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestSimulatorRejectsBadInput(t *testing.T) {
+	if _, err := NewSimulator(DefaultMachine(), 0); err == nil {
+		t.Error("zero base time accepted")
+	}
+	bad := DefaultMachine()
+	bad.NumCPUs = 0
+	if _, err := NewSimulator(bad, testBase); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	sim := MustNewSimulator(DefaultMachine(), testBase)
+	if _, err := sim.Run(Application{Name: "empty"}); err == nil {
+		t.Error("invalid application accepted")
+	}
+}
+
+func TestRunQCRDBreakdownShape(t *testing.T) {
+	sim := MustNewSimulator(DefaultMachine(), testBase)
+	res, err := sim.Run(QCRD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Programs) != 2 {
+		t.Fatalf("got %d program results", len(res.Programs))
+	}
+	p1, p2 := res.Programs[0], res.Programs[1]
+	// Program 1 is CPU-dominated; program 2 is I/O-dominated.
+	if p1.CPU <= p1.IO {
+		t.Fatalf("program 1 should be CPU-heavy: CPU=%v IO=%v", p1.CPU, p1.IO)
+	}
+	if p2.IO <= p2.CPU {
+		t.Fatalf("program 2 should be I/O-heavy: CPU=%v IO=%v", p2.CPU, p2.IO)
+	}
+	// Program 1 runs longer; the application makespan equals its wall.
+	if p1.Wall <= p2.Wall {
+		t.Fatalf("program 1 wall %v not longer than program 2 %v", p1.Wall, p2.Wall)
+	}
+	if res.Wall != p1.Wall {
+		t.Fatalf("app wall %v != dominant program wall %v", res.Wall, p1.Wall)
+	}
+	// QCRD has no communication.
+	if res.App.Comm != 0 {
+		t.Fatalf("QCRD comm time = %v, want 0", res.App.Comm)
+	}
+	if p1.Requests == 0 || p2.Requests == 0 {
+		t.Fatal("programs issued no disk requests")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		sim := MustNewSimulator(DefaultMachine(), testBase)
+		res, err := sim.Run(QCRD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Wall != b.Wall || a.App != b.App {
+		t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b)
+	}
+}
+
+func TestIOTimeTracksNominal(t *testing.T) {
+	// On the baseline machine (1 disk, 1 effective stream) the simulated
+	// I/O time must be close to the model's nominal I/O requirement:
+	// that is what calibrates the volume conversion.
+	machine := DefaultMachine()
+	sim := MustNewSimulator(machine, testBase)
+	app := QCRD()
+	res, err := sim.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := time.Duration(app.Requirements().Disk * float64(testBase))
+	got := res.App.IO
+	ratio := float64(got) / float64(nominal)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("simulated I/O %v vs nominal %v (ratio %.3f), want within 10%%", got, nominal, ratio)
+	}
+}
+
+func TestMoreCPUsShrinkCPUTime(t *testing.T) {
+	app := QCRD()
+	res1, _ := MustNewSimulator(DefaultMachine().WithCPUs(1), testBase).Run(app)
+	res8, _ := MustNewSimulator(DefaultMachine().WithCPUs(8), testBase).Run(app)
+	if res8.App.CPU >= res1.App.CPU {
+		t.Fatalf("8 CPUs did not shrink CPU time: %v vs %v", res8.App.CPU, res1.App.CPU)
+	}
+	// I/O must be unaffected by CPU count.
+	if res8.App.IO != res1.App.IO {
+		t.Fatalf("CPU count changed I/O time: %v vs %v", res8.App.IO, res1.App.IO)
+	}
+}
+
+func TestMoreDisksShrinkIOTime(t *testing.T) {
+	app := QCRD()
+	res1, _ := MustNewSimulator(DefaultMachine().WithDisks(1), testBase).Run(app)
+	res4, _ := MustNewSimulator(DefaultMachine().WithDisks(4), testBase).Run(app)
+	if res4.App.IO >= res1.App.IO {
+		t.Fatalf("4 disks did not shrink I/O time: %v vs %v", res4.App.IO, res1.App.IO)
+	}
+	if res4.App.CPU != res1.App.CPU {
+		t.Fatalf("disk count changed CPU time: %v vs %v", res4.App.CPU, res1.App.CPU)
+	}
+}
+
+func TestCommBurstCharged(t *testing.T) {
+	app := Application{Name: "comm", Programs: []Program{{
+		Name: "p",
+		Sets: []WorkingSet{{IOFrac: 0, CommFrac: 0.8, RelTime: 0.5, Phases: 2}},
+	}}}
+	sim := MustNewSimulator(DefaultMachine(), testBase)
+	res, err := sim.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App.Comm <= 0 {
+		t.Fatal("communication burst not charged")
+	}
+	// Comm includes per-phase latency on top of the nominal payload time.
+	nominal := time.Duration(0.8 * 0.5 * float64(testBase) * 2)
+	if res.App.Comm < nominal {
+		t.Fatalf("comm %v below nominal %v", res.App.Comm, nominal)
+	}
+}
+
+func TestSimulatorVsAnalyticError(t *testing.T) {
+	// The reproduction analog of the paper's <10% error claim (§2.3).
+	configs := []Machine{
+		DefaultMachine(),
+		DefaultMachine().WithDisks(4),
+		DefaultMachine().WithCPUs(8),
+		DefaultMachine().WithDisks(8).WithCPUs(4),
+	}
+	for i, m := range configs {
+		errRate, err := SimulatorError(QCRD(), m, testBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errRate > 0.10 {
+			t.Errorf("config %d: simulator vs analytic error %.1f%% exceeds 10%%", i, errRate*100)
+		}
+	}
+}
+
+func TestAnalyticMatchesRequirementsAtBaseline(t *testing.T) {
+	// With 1 CPU and 1 disk the analytic result must equal the raw
+	// requirements (no resource scaling), modulo network latency (QCRD
+	// has no comm, so exactly).
+	app := QCRD()
+	res, err := Analytic(app, DefaultMachine(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := app.Requirements()
+	if got := res.App.CPU; got != time.Duration(want.CPU*float64(testBase)) {
+		t.Fatalf("analytic CPU %v != requirements %v", got, time.Duration(want.CPU*float64(testBase)))
+	}
+	if got := res.App.IO; got != time.Duration(want.Disk*float64(testBase)) {
+		t.Fatalf("analytic IO %v != requirements %v", got, time.Duration(want.Disk*float64(testBase)))
+	}
+}

@@ -1,0 +1,134 @@
+package appmodel
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Segment is one burst within a program's execution timeline.
+type Segment struct {
+	Phase      int // 1-based phase number
+	WorkingSet int // 1-based working-set number
+	Kind       SegmentKind
+	Start, End time.Duration // offsets from program start
+}
+
+// SegmentKind labels a burst.
+type SegmentKind int
+
+// Burst kinds in phase order (a phase is an I/O burst, then computation,
+// then possibly communication).
+const (
+	SegIO SegmentKind = iota
+	SegCPU
+	SegComm
+)
+
+// String names the kind.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegIO:
+		return "IO"
+	case SegCPU:
+		return "CPU"
+	case SegComm:
+		return "COM"
+	default:
+		return fmt.Sprintf("seg(%d)", int(k))
+	}
+}
+
+// Timeline expands a program into its burst sequence at the given base
+// time — the paper's Figure 1(a) view (phase behaviour in absolute time).
+// No resource contention is applied; it is the model's nominal timeline.
+func Timeline(prog Program, base time.Duration) ([]Segment, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	var segs []Segment
+	var now time.Duration
+	phase := 0
+	for wsIdx, set := range prog.Sets {
+		for p := 0; p < set.Phases; p++ {
+			phase++
+			phaseTime := time.Duration(set.RelTime * float64(base))
+			io := time.Duration(float64(phaseTime) * set.IOFrac)
+			comm := time.Duration(float64(phaseTime) * set.CommFrac)
+			cpu := phaseTime - io - comm
+			for _, part := range []struct {
+				kind SegmentKind
+				dur  time.Duration
+			}{{SegIO, io}, {SegCPU, cpu}, {SegComm, comm}} {
+				if part.dur <= 0 {
+					continue
+				}
+				segs = append(segs, Segment{
+					Phase:      phase,
+					WorkingSet: wsIdx + 1,
+					Kind:       part.kind,
+					Start:      now,
+					End:        now + part.dur,
+				})
+				now += part.dur
+			}
+		}
+	}
+	return segs, nil
+}
+
+// RenderTimeline draws the timeline as an ASCII Gantt chart — the
+// reproduction of Figure 1: one lane per burst kind, # marking busy
+// intervals, with the phase ruler underneath.
+func RenderTimeline(prog Program, base time.Duration, width int) (string, error) {
+	if width < 20 {
+		width = 20
+	}
+	segs, err := Timeline(prog, base)
+	if err != nil {
+		return "", err
+	}
+	if len(segs) == 0 {
+		return "(empty program)\n", nil
+	}
+	total := segs[len(segs)-1].End
+	col := func(t time.Duration) int {
+		c := int(float64(t) / float64(total) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	lanes := map[SegmentKind][]byte{
+		SegIO:   []byte(strings.Repeat(" ", width)),
+		SegCPU:  []byte(strings.Repeat(" ", width)),
+		SegComm: []byte(strings.Repeat(" ", width)),
+	}
+	ruler := []byte(strings.Repeat(" ", width))
+	for _, s := range segs {
+		lane := lanes[s.Kind]
+		for c := col(s.Start); c <= col(s.End-1); c++ {
+			lane[c] = '#'
+		}
+		// Mark phase starts on the ruler.
+		if s.Kind == SegIO || ruler[col(s.Start)] == ' ' {
+			ruler[col(s.Start)] = phaseMark(s.Phase)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Program %q, %d phases, total %v (Figure 1 view)\n",
+		prog.Name, prog.NumPhases(), total.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  IO  |%s|\n", lanes[SegIO])
+	fmt.Fprintf(&b, "  CPU |%s|\n", lanes[SegCPU])
+	fmt.Fprintf(&b, "  COM |%s|\n", lanes[SegComm])
+	fmt.Fprintf(&b, "phase |%s|\n", ruler)
+	return b.String(), nil
+}
+
+// phaseMark renders a phase number as a single ruler character.
+func phaseMark(phase int) byte {
+	if phase < 10 {
+		return byte('0' + phase)
+	}
+	return '+'
+}

@@ -1,0 +1,114 @@
+package appmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimelineFigureExample(t *testing.T) {
+	prog := FigureExample()
+	segs, err := Timeline(prog, 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Segments are contiguous and non-overlapping.
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("gap between segment %d and %d: %v vs %v",
+				i-1, i, segs[i-1].End, segs[i].Start)
+		}
+	}
+	// Total equals the program's relative time × base.
+	total := segs[len(segs)-1].End
+	want := time.Duration(prog.TotalRelTime() * float64(100*time.Second))
+	if diff := total - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("total %v, want %v", total, want)
+	}
+	// Phase numbering covers 1..5 (Figure 1 has N=5).
+	maxPhase := 0
+	for _, s := range segs {
+		if s.Phase > maxPhase {
+			maxPhase = s.Phase
+		}
+	}
+	if maxPhase != 5 {
+		t.Fatalf("max phase %d, want 5", maxPhase)
+	}
+}
+
+func TestTimelineBurstOrderWithinPhase(t *testing.T) {
+	// A phase is an I/O burst followed by computation, then communication.
+	prog := Program{Name: "p", Sets: []WorkingSet{
+		{IOFrac: 0.3, CommFrac: 0.2, RelTime: 1, Phases: 1},
+	}}
+	segs, err := Timeline(prog, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	if segs[0].Kind != SegIO || segs[1].Kind != SegCPU || segs[2].Kind != SegComm {
+		t.Fatalf("burst order wrong: %v %v %v", segs[0].Kind, segs[1].Kind, segs[2].Kind)
+	}
+}
+
+func TestTimelineSkipsZeroBursts(t *testing.T) {
+	prog := Program{Name: "pureio", Sets: []WorkingSet{
+		{IOFrac: 1.0, CommFrac: 0, RelTime: 0.5, Phases: 2},
+	}}
+	segs, err := Timeline(prog, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Kind != SegIO {
+			t.Fatalf("zero-length burst emitted: %+v", s)
+		}
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+}
+
+func TestTimelineInvalidProgram(t *testing.T) {
+	if _, err := Timeline(Program{Name: "empty"}, time.Second); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	out, err := RenderTimeline(FigureExample(), 100*time.Second, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IO", "CPU", "COM", "phase", "#", "Figure 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineQCRD(t *testing.T) {
+	// QCRD program 1 has 24 phases; the ruler uses '+' beyond 9.
+	out, err := RenderTimeline(QCRD().Programs[0], 10*time.Second, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatalf("two-digit phases not marked:\n%s", out)
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if SegIO.String() != "IO" || SegCPU.String() != "CPU" || SegComm.String() != "COM" {
+		t.Fatal("kind names wrong")
+	}
+	if SegmentKind(7).String() != "seg(7)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package buffercache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+func benchCache(b *testing.B, cfg Config) *Cache {
+	b.Helper()
+	p := simdisk.DefaultParams()
+	disk := simdisk.MustNew(p)
+	return MustNew(cfg, disk)
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := benchCache(b, DefaultConfig())
+	now := time.Unix(0, 0)
+	c.Read(now, 0, 4096) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(now, 0, 4096)
+	}
+}
+
+func BenchmarkCacheMissEvict(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumPages = 64
+	cfg.PrefetchPages = 0
+	c := benchCache(b, cfg)
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(now, int64(i)*4096%(1<<30), 4096)
+	}
+}
+
+func BenchmarkCacheSequentialScanPrefetch(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PrefetchPages = 64
+	c := benchCache(b, cfg)
+	now := time.Unix(0, 0)
+	var off int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(now, off, 64<<10)
+		off = (off + 64<<10) % (1 << 30)
+	}
+}
+
+func BenchmarkCacheWriteBehind(b *testing.B) {
+	c := benchCache(b, DefaultConfig())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(now, int64(i)*4096%(1<<26), 4096)
+	}
+}

@@ -1,0 +1,322 @@
+package buffercache
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+func testCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	p := simdisk.DefaultParams()
+	p.Capacity = 1 << 30
+	disk := simdisk.MustNew(p)
+	return MustNew(cfg, disk)
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumPages = 8
+	cfg.PrefetchPages = 0
+	return cfg
+}
+
+var t0 = time.Unix(0, 0)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero page", func(c *Config) { c.PageSize = 0 }},
+		{"zero pages", func(c *Config) { c.NumPages = 0 }},
+		{"negative prefetch", func(c *Config) { c.PrefetchPages = -1 }},
+		{"zero rate", func(c *Config) { c.MemCopyRate = 0 }},
+		{"negative hit", func(c *Config) { c.HitOverhead = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestNewNilBackend(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("New accepted nil backend")
+	}
+}
+
+func TestColdReadSlowerThanWarmRead(t *testing.T) {
+	c := testCache(t, smallConfig())
+	_, cold := c.Read(t0, 0, 4096)
+	_, warm := c.Read(t0, 0, 4096)
+	if warm >= cold {
+		t.Fatalf("warm read %v not faster than cold %v", warm, cold)
+	}
+	// The gap must be orders of magnitude, as in the paper's Table 6.
+	if cold < 10*warm {
+		t.Fatalf("cold/warm ratio too small: cold=%v warm=%v", cold, warm)
+	}
+}
+
+func TestReadMakesPagesResident(t *testing.T) {
+	c := testCache(t, smallConfig())
+	c.Read(t0, 0, 3*4096)
+	for off := int64(0); off < 3*4096; off += 4096 {
+		if !c.Resident(off) {
+			t.Fatalf("page at %d not resident after read", off)
+		}
+	}
+	if c.Resident(100 * 4096) {
+		t.Fatal("untouched page reported resident")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	cfg := smallConfig()
+	c := testCache(t, cfg)
+	for i := int64(0); i < 100; i++ {
+		c.Read(t0, i*4096, 4096)
+		if got := c.ResidentPages(); got > cfg.NumPages {
+			t.Fatalf("resident pages %d exceed capacity %d", got, cfg.NumPages)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions after overflowing the cache")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	cfg := smallConfig() // 8 pages
+	c := testCache(t, cfg)
+	for i := int64(0); i < 8; i++ {
+		c.Read(t0, i*4096, 4096)
+	}
+	// Touch page 0 so page 1 becomes LRU.
+	c.Read(t0, 0, 4096)
+	// Insert one more page; page 1 must be the victim.
+	c.Read(t0, 100*4096, 4096)
+	if !c.Resident(0) {
+		t.Fatal("recently-touched page 0 was evicted")
+	}
+	if c.Resident(1 * 4096) {
+		t.Fatal("LRU page 1 survived eviction")
+	}
+}
+
+func TestPrefetchMakesSequentialReadsHit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPages = 64
+	cfg.PrefetchPages = 8
+	c := testCache(t, cfg)
+	// Three sequential reads: the first misses cold, the second misses but
+	// triggers read-ahead (sequentiality now detected), and the third must
+	// be entirely satisfied by the prefetched pages.
+	c.Read(t0, 0, 4096)
+	c.Read(t0, 4096, 4096)
+	before := c.Stats()
+	_, warm := c.Read(t0, 2*4096, 4096)
+	after := c.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("sequential read missed despite prefetch: %+v -> %+v", before, after)
+	}
+	if after.PrefetchHits == before.PrefetchHits {
+		t.Fatal("prefetch hit not accounted")
+	}
+	if warm > time.Millisecond {
+		t.Fatalf("prefetched read took %v, want sub-millisecond", warm)
+	}
+}
+
+func TestNoPrefetchOnRandomAccess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPages = 64
+	cfg.PrefetchPages = 8
+	c := testCache(t, cfg)
+	c.Read(t0, 0, 4096)        // pages 0 (+ prefetch on first access? not sequential: lastPage=-2)
+	c.Read(t0, 500*4096, 4096) // random jump
+	c.Read(t0, 200*4096, 4096) // another random jump
+	if got := c.Stats().PrefetchedIn; got != 0 {
+		t.Fatalf("random access triggered %d prefetched pages, want 0", got)
+	}
+}
+
+func TestWriteBehindDirtiesPages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WriteBehind = true
+	c := testCache(t, cfg)
+	_, w := c.Write(t0, 0, 4096)
+	if c.DirtyPages() != 1 {
+		t.Fatalf("DirtyPages = %d, want 1", c.DirtyPages())
+	}
+	if w > time.Millisecond {
+		t.Fatalf("write-behind write cost disk time: %v", w)
+	}
+	if c.Stats().BytesToDisk != 0 {
+		t.Fatal("write-behind wrote to disk eagerly")
+	}
+}
+
+func TestWriteThroughGoesToDisk(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WriteBehind = false
+	c := testCache(t, cfg)
+	_, w := c.Write(t0, 0, 4096)
+	if c.Stats().BytesToDisk != 4096 {
+		t.Fatalf("BytesToDisk = %d, want 4096", c.Stats().BytesToDisk)
+	}
+	if w < 100*time.Microsecond {
+		t.Fatalf("write-through write did not pay disk time: %v", w)
+	}
+	if c.DirtyPages() != 0 {
+		t.Fatal("write-through left dirty pages")
+	}
+}
+
+func TestFlushWritesDirtyPagesOnce(t *testing.T) {
+	cfg := smallConfig()
+	c := testCache(t, cfg)
+	c.Write(t0, 0, 2*4096)
+	_, d1 := c.Flush(t0)
+	if c.DirtyPages() != 0 {
+		t.Fatal("flush left dirty pages")
+	}
+	if c.Stats().DirtyFlushes != 2 {
+		t.Fatalf("DirtyFlushes = %d, want 2", c.Stats().DirtyFlushes)
+	}
+	if d1 <= 0 {
+		t.Fatal("flush with dirty pages must take time")
+	}
+	// Second flush is a no-op.
+	_, d2 := c.Flush(t0)
+	if d2 != 0 {
+		t.Fatalf("idle flush took %v, want 0", d2)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := smallConfig() // 8 pages
+	c := testCache(t, cfg)
+	// Dirty all 8 pages, then read 8 new ones to force dirty evictions.
+	for i := int64(0); i < 8; i++ {
+		c.Write(t0, i*4096, 4096)
+	}
+	for i := int64(100); i < 108; i++ {
+		c.Read(t0, i*4096, 4096)
+	}
+	s := c.Stats()
+	if s.DirtyFlushes == 0 {
+		t.Fatal("dirty evictions did not write back")
+	}
+	if s.BytesToDisk == 0 {
+		t.Fatal("no bytes written back")
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	c := testCache(t, smallConfig())
+	_, r := c.Read(t0, 0, 0)
+	_, w := c.Write(t0, 0, 0)
+	if r != c.Config().HitOverhead || w != c.Config().HitOverhead {
+		t.Fatalf("zero-length ops cost r=%v w=%v, want %v", r, w, c.Config().HitOverhead)
+	}
+	if c.ResidentPages() != 0 {
+		t.Fatal("zero-length op cached pages")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := testCache(t, smallConfig())
+	c.Read(t0, 0, 4*4096)
+	c.Invalidate()
+	if c.ResidentPages() != 0 {
+		t.Fatalf("Invalidate left %d pages", c.ResidentPages())
+	}
+	_, cold := c.Read(t0, 0, 4096)
+	if cold < time.Millisecond {
+		t.Fatalf("post-invalidate read not cold: %v", cold)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := testCache(t, smallConfig())
+	c.Read(t0, 0, 4096)
+	c.Read(t0, 0, 4096)
+	c.Read(t0, 0, 4096)
+	got := c.Stats().HitRate()
+	want := 2.0 / 3.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("HitRate = %v, want %v", got, want)
+	}
+}
+
+// Property: after any sequence of reads and writes, (a) resident pages
+// never exceed capacity, (b) a page just accessed is resident, and (c)
+// elapsed time is never negative.
+func TestCacheInvariantsUnderRandomOps(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PrefetchPages = 4
+	f := func(ops []struct {
+		Off   int64
+		Len   uint16
+		Write bool
+	}) bool {
+		c := testCache(t, cfg)
+		for _, op := range ops {
+			off := op.Off % (1 << 28)
+			if off < 0 {
+				off = -off
+			}
+			// Keep spans + read-ahead within capacity so the just-accessed
+			// page cannot itself be evicted by the tail of the same access.
+			length := int64(op.Len) % 8192
+			var el time.Duration
+			if op.Write {
+				_, el = c.Write(t0, off, length)
+			} else {
+				_, el = c.Read(t0, off, length)
+			}
+			if el < 0 {
+				return false
+			}
+			if c.ResidentPages() > cfg.NumPages {
+				return false
+			}
+			if length > 0 && !c.Resident(off) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSpansManyPagesCoalesced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumPages = 1024
+	cfg.PrefetchPages = 0
+	c := testCache(t, cfg)
+	// A 1 MB read over a cold cache should issue few large disk requests,
+	// not 256 individual page faults.
+	c.Read(t0, 0, 1<<20)
+	p := simdisk.DefaultParams()
+	p.Capacity = 1 << 30
+	// 256 pages missed but coalesced into one run.
+	s := c.Stats()
+	if s.Misses != 256 {
+		t.Fatalf("Misses = %d, want 256", s.Misses)
+	}
+	if s.BytesFromDisk != 1<<20 {
+		t.Fatalf("BytesFromDisk = %d, want %d", s.BytesFromDisk, 1<<20)
+	}
+}

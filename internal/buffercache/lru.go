@@ -1,0 +1,62 @@
+package buffercache
+
+// lruList is an intrusive doubly-linked LRU list over page frames. We keep
+// our own rather than container/list to make the hot path allocation-free:
+// frames are preallocated at cache construction and recycled forever.
+type lruList struct {
+	head, tail *frame // head = most recently used
+	size       int
+}
+
+// frame is one cached page slot.
+type frame struct {
+	page       int64 // absolute page number, -1 when free
+	dirty      bool
+	prefetched bool // brought in by read-ahead, not yet referenced
+	prev, next *frame
+}
+
+// pushFront inserts f at the MRU end.
+func (l *lruList) pushFront(f *frame) {
+	f.prev = nil
+	f.next = l.head
+	if l.head != nil {
+		l.head.prev = f
+	}
+	l.head = f
+	if l.tail == nil {
+		l.tail = f
+	}
+	l.size++
+}
+
+// remove unlinks f from the list.
+func (l *lruList) remove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		l.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		l.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+	l.size--
+}
+
+// moveToFront marks f as most recently used.
+func (l *lruList) moveToFront(f *frame) {
+	if l.head == f {
+		return
+	}
+	l.remove(f)
+	l.pushFront(f)
+}
+
+// back returns the LRU frame, or nil when empty.
+func (l *lruList) back() *frame { return l.tail }
+
+// len returns the number of linked frames.
+func (l *lruList) len() int { return l.size }

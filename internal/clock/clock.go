@@ -1,0 +1,183 @@
+// Package clock provides the time substrate shared by every simulator in
+// this repository.
+//
+// The paper measures latencies with the Win32 QueryPerformanceCounter; on
+// the reproduction side we need two clock flavours behind one interface:
+//
+//   - RealClock: a thin wrapper over the Go monotonic clock, used when a
+//     benchmark issues real OS I/O.
+//   - VirtualClock: a deterministic simulated clock advanced explicitly by
+//     the discrete-event engines (disk model, cache, VM). Every simulated
+//     experiment in the repo is reproducible bit-for-bit because all timing
+//     flows through a VirtualClock.
+//
+// The PerfCounter type mirrors the QueryPerformanceCounter usage in the
+// paper's web-server benchmark: a high-resolution stamp pair converted to
+// milliseconds.
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock. For virtual clocks the
+	// wall-clock date is meaningless; only differences matter.
+	Now() time.Time
+	// Sleep advances this clock (virtual) or blocks (real) for d.
+	Sleep(d time.Duration)
+}
+
+// Advancer is implemented by clocks whose time is driven by the caller
+// rather than by the OS. Discrete-event engines advance simulated time
+// through this interface.
+type Advancer interface {
+	// Advance moves the clock forward by d and returns the new now.
+	Advance(d time.Duration) time.Time
+}
+
+// RealClock reads the OS monotonic clock.
+type RealClock struct{}
+
+// Now returns time.Now.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d using time.Sleep.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a deterministic, explicitly advanced clock. The zero
+// value is ready to use and starts at the zero time.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances simulated time by d. Negative durations are ignored.
+func (c *VirtualClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves simulated time forward by d and returns the new now.
+// Negative durations are treated as zero: simulated time never flows
+// backwards.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t if t is later than the current simulated time.
+// It returns the resulting now. Set is used by event loops that pop a
+// timestamped event queue.
+func (c *VirtualClock) Set(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	return c.now
+}
+
+var (
+	_ Clock    = RealClock{}
+	_ Clock    = (*VirtualClock)(nil)
+	_ Advancer = (*VirtualClock)(nil)
+)
+
+// Stopwatch measures elapsed time on an arbitrary Clock. It mirrors the
+// start/stop QueryPerformanceCounter pattern used in the paper.
+type Stopwatch struct {
+	clock   Clock
+	start   time.Time
+	elapsed time.Duration
+	running bool
+}
+
+// NewStopwatch returns a stopped stopwatch bound to c.
+func NewStopwatch(c Clock) *Stopwatch {
+	return &Stopwatch{clock: c}
+}
+
+// Start begins (or resumes) timing. Starting a running stopwatch is a
+// no-op.
+func (s *Stopwatch) Start() {
+	if s.running {
+		return
+	}
+	s.start = s.clock.Now()
+	s.running = true
+}
+
+// Stop halts timing and accumulates the elapsed interval.
+func (s *Stopwatch) Stop() {
+	if !s.running {
+		return
+	}
+	s.elapsed += s.clock.Now().Sub(s.start)
+	s.running = false
+}
+
+// Reset zeroes the accumulated time and stops the stopwatch.
+func (s *Stopwatch) Reset() {
+	s.elapsed = 0
+	s.running = false
+}
+
+// Elapsed reports the accumulated time, including the in-flight interval
+// if the stopwatch is running.
+func (s *Stopwatch) Elapsed() time.Duration {
+	if s.running {
+		return s.elapsed + s.clock.Now().Sub(s.start)
+	}
+	return s.elapsed
+}
+
+// Running reports whether the stopwatch is currently timing.
+func (s *Stopwatch) Running() bool { return s.running }
+
+// PerfCounter emulates the QueryPerformanceCounter API the paper uses to
+// time web-server I/O: Query captures a stamp; Milliseconds converts a
+// stamp pair to the floating-point millisecond latency the paper's tables
+// report.
+type PerfCounter struct {
+	clock Clock
+}
+
+// NewPerfCounter returns a counter reading from c.
+func NewPerfCounter(c Clock) *PerfCounter { return &PerfCounter{clock: c} }
+
+// Query returns a high-resolution counter stamp in nanoseconds.
+func (p *PerfCounter) Query() int64 { return p.clock.Now().UnixNano() }
+
+// Milliseconds converts a stamp pair to elapsed milliseconds.
+func (p *PerfCounter) Milliseconds(start, end int64) float64 {
+	return float64(end-start) / 1e6
+}
+
+// FormatMS renders a millisecond latency the way the paper's tables print
+// them: scientific notation for sub-microsecond values, fixed point
+// otherwise.
+func FormatMS(ms float64) string {
+	if ms != 0 && ms < 1e-3 {
+		return fmt.Sprintf("%.2E", ms)
+	}
+	return fmt.Sprintf("%.4g", ms)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/appmodel"
+	"repro/internal/tracegen"
+)
+
+// Options parameterizes the experiment registry. Zero fields take the
+// reproduction defaults, so Options{} == the paper's configuration.
+type Options struct {
+	// Machine is benchmark 1's baseline machine.
+	Machine appmodel.Machine
+	// Base is benchmark 1's model-unit duration.
+	Base time.Duration
+	// TraceParams configures benchmark 2's generation and replay.
+	TraceParams tracegen.Params
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Machine:     appmodel.DefaultMachine(),
+		Base:        appmodel.QCRDBaseTime,
+		TraceParams: tracegen.DefaultParams(),
+	}
+}
+
+// current is the process-wide configuration Experiments() uses; tools
+// override it once at startup via SetOptions.
+var current = DefaultOptions()
+
+// SetOptions replaces the registry's process-wide configuration. Zero
+// fields take the defaults. Call before Experiments()/Run; not safe to
+// race with running experiments.
+func SetOptions(opts Options) { current = opts.fillDefaults() }
+
+// fillDefaults replaces zero fields with defaults.
+func (o Options) fillDefaults() Options {
+	def := DefaultOptions()
+	if o.Machine == (appmodel.Machine{}) {
+		o.Machine = def.Machine
+	}
+	if o.Base == 0 {
+		o.Base = def.Base
+	}
+	if o.TraceParams == (tracegen.Params{}) {
+		o.TraceParams = def.TraceParams
+	}
+	return o
+}
+
+// configJSON is the on-disk form read by LoadOptions — flat, in
+// human-friendly units, with every field optional.
+type configJSON struct {
+	CPUs            *int     `json:"cpus"`
+	Disks           *int     `json:"disks"`
+	CPUParFrac      *float64 `json:"cpu_parallel_fraction"`
+	IOQueueDepth    *int     `json:"io_queue_depth"`
+	BaseSeconds     *float64 `json:"base_seconds"`
+	TraceFileSizeMB *int64   `json:"trace_file_size_mb"`
+	TraceRequests   *int     `json:"trace_requests"`
+}
+
+// LoadOptions reads a JSON configuration, overlaying it on the defaults.
+// Unknown keys are rejected so typos fail loudly.
+func LoadOptions(r io.Reader) (Options, error) {
+	opts := DefaultOptions()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg configJSON
+	if err := dec.Decode(&cfg); err != nil {
+		return Options{}, fmt.Errorf("core: parsing config: %w", err)
+	}
+	if cfg.CPUs != nil {
+		opts.Machine.NumCPUs = *cfg.CPUs
+	}
+	if cfg.Disks != nil {
+		opts.Machine.NumDisks = *cfg.Disks
+	}
+	if cfg.CPUParFrac != nil {
+		opts.Machine.CPUParFrac = *cfg.CPUParFrac
+	}
+	if cfg.IOQueueDepth != nil {
+		opts.Machine.IOQueueDepth = *cfg.IOQueueDepth
+	}
+	if cfg.BaseSeconds != nil {
+		opts.Base = time.Duration(*cfg.BaseSeconds * float64(time.Second))
+	}
+	if cfg.TraceFileSizeMB != nil {
+		opts.TraceParams.FileSize = *cfg.TraceFileSizeMB << 20
+	}
+	if cfg.TraceRequests != nil {
+		opts.TraceParams.Requests = *cfg.TraceRequests
+	}
+	if err := opts.Machine.Validate(); err != nil {
+		return Options{}, err
+	}
+	if opts.Base <= 0 {
+		return Options{}, fmt.Errorf("core: base_seconds must be positive")
+	}
+	if err := opts.TraceParams.Validate(); err != nil {
+		return Options{}, err
+	}
+	return opts, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultOptionsValid(t *testing.T) {
+	opts := DefaultOptions()
+	if err := opts.Machine.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Base <= 0 {
+		t.Fatal("zero base")
+	}
+	if err := opts.TraceParams.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillDefaults(t *testing.T) {
+	var zero Options
+	filled := zero.fillDefaults()
+	if filled.Machine.NumCPUs == 0 || filled.Base == 0 || filled.TraceParams.FileSize == 0 {
+		t.Fatalf("fillDefaults left zeros: %+v", filled)
+	}
+}
+
+func TestLoadOptionsOverlays(t *testing.T) {
+	cfg := `{"cpus": 8, "disks": 4, "base_seconds": 10, "trace_file_size_mb": 64, "trace_requests": 50}`
+	opts, err := LoadOptions(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Machine.NumCPUs != 8 || opts.Machine.NumDisks != 4 {
+		t.Fatalf("machine = %+v", opts.Machine)
+	}
+	if opts.Base != 10*time.Second {
+		t.Fatalf("base = %v", opts.Base)
+	}
+	if opts.TraceParams.FileSize != 64<<20 || opts.TraceParams.Requests != 50 {
+		t.Fatalf("trace params = %+v", opts.TraceParams)
+	}
+	// Untouched fields keep defaults.
+	if opts.Machine.CPUParFrac != DefaultOptions().Machine.CPUParFrac {
+		t.Fatal("unset field changed")
+	}
+}
+
+func TestLoadOptionsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  string
+	}{
+		{"unknown key", `{"cpuz": 8}`},
+		{"invalid machine", `{"cpus": 0}`},
+		{"negative base", `{"base_seconds": -1}`},
+		{"bad json", `{`},
+		{"bad trace", `{"trace_requests": -5}`},
+	}
+	for _, tc := range cases {
+		if _, err := LoadOptions(strings.NewReader(tc.cfg)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSetOptionsAffectsRegistry(t *testing.T) {
+	defer SetOptions(DefaultOptions())
+	opts := DefaultOptions()
+	opts.Base = 1 * time.Second
+	SetOptions(opts)
+	e, ok := ByID("errorcheck")
+	if !ok {
+		t.Fatal("errorcheck missing")
+	}
+	// Experiments still run correctly under the override.
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "PASS") {
+		t.Fatalf("errorcheck under override:\n%s", res.Text)
+	}
+}

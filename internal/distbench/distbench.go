@@ -1,0 +1,300 @@
+// Package distbench implements the paper's second future-work direction
+// (§5): "develop benchmarks for I/O-intensive computing in a widely
+// distributed environment." It places the web-server workload in a
+// multi-node setting: client nodes issue file requests across a simulated
+// interconnect (netsim) to a server node whose file I/O runs on the
+// simulated store (fsim) through the managed runtime (vm).
+//
+// The benchmark sweeps the client-node count and reports throughput and
+// latency, exposing the saturation point where the server's NIC and disk
+// path stop scaling — the question a distributed deployment of the
+// paper's web server would ask first.
+package distbench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Config wires one distributed run.
+type Config struct {
+	// Nodes is the number of client nodes.
+	Nodes int
+	// RequestsPerNode is how many sequential requests each client issues.
+	RequestsPerNode int
+	// Servers is the number of replicated server nodes; clients are
+	// assigned round-robin. Zero means one.
+	Servers int
+	// ServerWorkers is each server's worker-thread count.
+	ServerWorkers int
+	// RequestBytes is the size of a request message on the wire.
+	RequestBytes int64
+	// Net parameterizes the interconnect.
+	Net netsim.Params
+	// VM parameterizes the server's managed runtime.
+	VM vm.Config
+	// Store parameterizes the server's file store.
+	Store fsim.Config
+	// Corpus is the served file set.
+	Corpus []workload.FileSpec
+}
+
+// DefaultConfig returns a LAN cluster serving the web corpus: 4 workers,
+// 64 requests per node.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:           4,
+		RequestsPerNode: 64,
+		ServerWorkers:   4,
+		RequestBytes:    256,
+		Net:             netsim.LANParams(),
+		VM:              vm.DefaultConfig(),
+		Store:           fsim.DefaultConfig(),
+		Corpus:          workload.WebCorpus(),
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("distbench: need at least 1 node, got %d", c.Nodes)
+	case c.Servers < 0:
+		return fmt.Errorf("distbench: negative server count %d", c.Servers)
+	case c.RequestsPerNode < 1:
+		return fmt.Errorf("distbench: need at least 1 request per node, got %d", c.RequestsPerNode)
+	case c.ServerWorkers < 1:
+		return fmt.Errorf("distbench: need at least 1 server worker, got %d", c.ServerWorkers)
+	case c.RequestBytes < 0:
+		return fmt.Errorf("distbench: negative request size %d", c.RequestBytes)
+	case len(c.Corpus) == 0:
+		return fmt.Errorf("distbench: empty corpus")
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if err := c.VM.Validate(); err != nil {
+		return err
+	}
+	return c.Store.Validate()
+}
+
+// Result is one run's measurements. All times are simulated.
+type Result struct {
+	Nodes    int
+	Requests int64
+	Makespan time.Duration
+	// Throughput is completed requests per simulated second.
+	Throughput float64
+	// MeanLatencyMS / P99LatencyMS summarize end-to-end request latency.
+	MeanLatencyMS float64
+	P99LatencyMS  float64
+	// ServerIOMS is the mean server-side file I/O time per request.
+	ServerIOMS float64
+	// NetBusy is the fabric's total NIC busy time.
+	NetBusy time.Duration
+}
+
+// Run executes one distributed load and returns its result.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	nServers := cfg.Servers
+	if nServers == 0 {
+		nServers = 1
+	}
+	// One store/runtime/worker-pool per replicated server. Node layout:
+	// clients 0..Nodes-1, servers Nodes..Nodes+nServers-1.
+	type serverState struct {
+		store      *fsim.FileStore
+		rt         *vm.Runtime
+		workerFree []time.Time
+		node       int
+	}
+	servers := make([]*serverState, nServers)
+	for i := range servers {
+		store, err := fsim.NewFileStore(cfg.Store)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := workload.Install(store, cfg.Corpus); err != nil {
+			return Result{}, err
+		}
+		rt, err := vm.New(cfg.VM, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		rt.RegisterBCL()
+		servers[i] = &serverState{
+			store:      store,
+			rt:         rt,
+			workerFree: make([]time.Time, cfg.ServerWorkers),
+			node:       cfg.Nodes + i,
+		}
+	}
+	net, err := netsim.New(cfg.Nodes+nServers, cfg.Net)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t0 := time.Unix(0, 0)
+	// Per-client next-issue times and remaining request counts.
+	nextIssue := make([]time.Time, cfg.Nodes)
+	remaining := make([]int, cfg.Nodes)
+	issued := make([]int, cfg.Nodes)
+	for i := range nextIssue {
+		nextIssue[i] = t0
+		remaining[i] = cfg.RequestsPerNode
+	}
+
+	var latencies metrics.Sample
+	var serverIO metrics.Sample
+	var completed int64
+	end := t0
+
+	for {
+		// Pick the client with the earliest next-issue time.
+		client := -1
+		for i := range nextIssue {
+			if remaining[i] == 0 {
+				continue
+			}
+			if client == -1 || nextIssue[i].Before(nextIssue[client]) {
+				client = i
+			}
+		}
+		if client == -1 {
+			break
+		}
+		issueTime := nextIssue[client]
+		spec := cfg.Corpus[(client+issued[client])%len(cfg.Corpus)]
+		srv := servers[client%nServers]
+
+		// Request message crosses the fabric.
+		reqArrive, err := net.Send(issueTime, client, srv.node, cfg.RequestBytes)
+		if err != nil {
+			return Result{}, err
+		}
+		// Earliest-free worker on the client's server picks it up.
+		w := 0
+		for i := range srv.workerFree {
+			if srv.workerFree[i].Before(srv.workerFree[w]) {
+				w = i
+			}
+		}
+		start := reqArrive
+		if srv.workerFree[w].After(start) {
+			start = srv.workerFree[w]
+		}
+		// Server-side file I/O through the managed runtime.
+		ioTime, err := serveFile(srv.rt, srv.store, spec.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		ioDone := start.Add(ioTime)
+		srv.workerFree[w] = ioDone
+		serverIO.AddDuration(ioTime)
+
+		// Response crosses back; the server NIC serializes responses.
+		respArrive, err := net.Send(ioDone, srv.node, client, spec.Size)
+		if err != nil {
+			return Result{}, err
+		}
+		latencies.AddDuration(respArrive.Sub(issueTime))
+		completed++
+		if respArrive.After(end) {
+			end = respArrive
+		}
+		nextIssue[client] = respArrive
+		remaining[client]--
+		issued[client]++
+	}
+
+	makespan := end.Sub(t0)
+	res := Result{
+		Nodes:         cfg.Nodes,
+		Requests:      completed,
+		Makespan:      makespan,
+		MeanLatencyMS: latencies.Mean(),
+		P99LatencyMS:  latencies.Quantile(0.99),
+		ServerIOMS:    serverIO.Mean(),
+		NetBusy:       net.Stats().BusyTime,
+	}
+	if makespan > 0 {
+		res.Throughput = float64(completed) / makespan.Seconds()
+	}
+	return res, nil
+}
+
+// serveFile performs the server's doGet path: open the managed stream,
+// read everything, close — returning the charged duration.
+func serveFile(rt *vm.Runtime, store fsim.Store, name string) (time.Duration, error) {
+	stream, openDur, err := vm.OpenFileStream(rt, store, name)
+	if err != nil {
+		return 0, err
+	}
+	_, readDur, err := stream.ReadAll()
+	closeDur, _ := stream.Close()
+	if err != nil {
+		return 0, err
+	}
+	return openDur + readDur + closeDur, nil
+}
+
+// NodeSweep is the default client-count sweep.
+var NodeSweep = []int{1, 2, 4, 8, 16, 32}
+
+// Sweep runs the benchmark across node counts (sorted, deduplicated) and
+// returns per-count results.
+func Sweep(cfg Config, nodes []int) ([]Result, error) {
+	counts := append([]int(nil), nodes...)
+	sort.Ints(counts)
+	var out []Result
+	for i, n := range counts {
+		if i > 0 && counts[i-1] == n {
+			continue
+		}
+		c := cfg
+		c.Nodes = n
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("distbench: %d nodes: %w", n, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Table renders sweep results as a text table.
+func Table(results []Result) *metrics.Table {
+	tb := metrics.NewTable(
+		"Distributed load: throughput and latency vs client nodes",
+		"Nodes", "Requests", "Throughput (req/s)", "Mean latency (ms)",
+		"P99 latency (ms)", "Server IO (ms)")
+	for _, r := range results {
+		tb.AddRow(r.Nodes, r.Requests, r.Throughput, r.MeanLatencyMS, r.P99LatencyMS, r.ServerIOMS)
+	}
+	return tb
+}
+
+// Figure renders the throughput curve.
+func Figure(results []Result) *metrics.Figure {
+	labels := make([]string, len(results))
+	values := make([]float64, len(results))
+	for i, r := range results {
+		labels[i] = fmt.Sprintf("%d", r.Nodes)
+		values[i] = r.Throughput
+	}
+	fig := metrics.NewFigure("Distributed throughput vs client nodes",
+		"client nodes", "requests/second")
+	fig.Add(metrics.NewSeries("throughput", labels, values))
+	return fig
+}

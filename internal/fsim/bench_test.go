@@ -1,0 +1,76 @@
+package fsim
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkSimReadWarm(b *testing.B) {
+	s := MustNewFileStore(DefaultConfig())
+	if _, err := s.Create("f", make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	f, _, err := s.Open("f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64<<10)
+	f.Read(buf) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SeekTo(0, io.SeekStart)
+		f.Read(buf)
+	}
+}
+
+func BenchmarkSimWrite(b *testing.B) {
+	s := MustNewFileStore(DefaultConfig())
+	if _, err := s.Create("w", make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	f, _, err := s.Open("w")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SeekTo(int64(i)%(1<<19), io.SeekStart)
+		f.Write(buf)
+	}
+}
+
+func BenchmarkSparseFileRead(b *testing.B) {
+	s := MustNewFileStore(DefaultConfig())
+	if _, err := s.CreateSized("big", 1<<30); err != nil {
+		b.Fatal(err)
+	}
+	f, _, err := s.Open("big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SeekTo(int64(i)*(64<<10)%(1<<29), io.SeekStart)
+		f.Read(buf)
+	}
+}
+
+func BenchmarkOpenClose(b *testing.B) {
+	s := MustNewFileStore(DefaultConfig())
+	if _, err := s.Create("oc", make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _, err := s.Open("oc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}

@@ -1,0 +1,111 @@
+package fsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFaultStoreDisabled(t *testing.T) {
+	s := NewFaultStore(MustNewFileStore(DefaultConfig()), 0)
+	if _, err := s.Create("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f, _, err := s.Open("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if s.Injected() != 0 {
+		t.Fatalf("disabled injector fired %d times", s.Injected())
+	}
+}
+
+func TestFaultStoreFailsOnSchedule(t *testing.T) {
+	inner := MustNewFileStore(DefaultConfig())
+	inner.Create("f", make([]byte, 1024))
+	s := NewFaultStore(inner, 3)
+	var failures int
+	for i := 0; i < 9; i++ {
+		_, _, err := s.Open("f") // each Open is one op
+		if errors.Is(err, ErrInjected) {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("9 ops with failEvery=3 produced %d failures, want 3", failures)
+	}
+	if s.Injected() != 3 {
+		t.Fatalf("Injected = %d", s.Injected())
+	}
+}
+
+func TestFaultFileOperationsFail(t *testing.T) {
+	inner := MustNewFileStore(DefaultConfig())
+	inner.Create("f", make([]byte, 4096))
+	s := NewFaultStore(inner, 2) // ops 2, 4, 6... fail
+	f, _, err := s.Open("f")     // op 1: ok
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Read(make([]byte, 10)); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("read err = %v, want injected", err)
+	}
+	if _, _, err := f.SeekTo(0, io.SeekStart); err != nil { // op 3: ok
+		t.Fatal(err)
+	}
+	if _, _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) { // op 4
+		t.Fatalf("write err = %v, want injected", err)
+	}
+	// Close never injects.
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStorePassthroughMetadata(t *testing.T) {
+	inner := MustNewFileStore(DefaultConfig())
+	inner.Create("f", nil)
+	s := NewFaultStore(inner, 1) // every op fails
+	// Exists/Names are not operations and never fail.
+	if !s.Exists("f") {
+		t.Fatal("Exists interposed")
+	}
+	if len(s.Names()) != 1 {
+		t.Fatal("Names interposed")
+	}
+}
+
+func TestRemoveFileStore(t *testing.T) {
+	s := MustNewFileStore(DefaultConfig())
+	s.Create("victim", []byte("data"))
+	dur, err := s.Remove("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Fatal("remove cost nothing")
+	}
+	if s.Exists("victim") {
+		t.Fatal("file survived Remove")
+	}
+	if _, err := s.Remove("victim"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("second remove err = %v", err)
+	}
+}
+
+func TestRemoveOSStore(t *testing.T) {
+	s := newOSStore(t)
+	s.Create("victim", []byte("data"))
+	if _, err := s.Remove("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("victim") {
+		t.Fatal("file survived Remove")
+	}
+	if _, err := s.Remove("victim"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("second remove err = %v", err)
+	}
+}

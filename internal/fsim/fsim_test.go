@@ -1,0 +1,350 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newStore(t *testing.T) *FileStore {
+	t.Helper()
+	s, err := NewFileStore(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCreate(t *testing.T, s Store, name string, data []byte) {
+	t.Helper()
+	if _, err := s.Create(name, data); err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative open", func(c *Config) { c.OpenCost = -1 }},
+		{"negative warm", func(c *Config) { c.WarmPagesOnOpen = -1 }},
+		{"zero disks", func(c *Config) { c.Disks = 0 }},
+		{"zero stripe", func(c *Config) { c.StripeUnit = 0 }},
+		{"bad cache", func(c *Config) { c.Cache.PageSize = 0 }},
+		{"bad disk", func(c *Config) { c.Disk.RPM = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestCreateOpenReadRoundTrip(t *testing.T) {
+	s := newStore(t)
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	mustCreate(t, s, "a.txt", want)
+	f, openDur, err := s.Open("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openDur <= 0 {
+		t.Fatal("open must take simulated time")
+	}
+	got := make([]byte, len(want))
+	n, readDur, err := f.Read(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(got, want) {
+		t.Fatalf("read %d bytes %q, want %q", n, got, want)
+	}
+	if readDur <= 0 {
+		t.Fatal("read must take simulated time")
+	}
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	s := newStore(t)
+	if _, _, err := s.Open("ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "tiny", []byte("ab"))
+	f, _, _ := s.Open("tiny")
+	buf := make([]byte, 10)
+	n, _, err := f.Read(buf)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("short read n=%d err=%v, want 2, EOF", n, err)
+	}
+	n, _, err = f.Read(buf)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("read past end n=%d err=%v, want 0, EOF", n, err)
+	}
+}
+
+func TestWriteExtendsFile(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "f", []byte("hello"))
+	f, _, _ := s.Open("f")
+	if _, _, err := f.SeekTo(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 11 {
+		t.Fatalf("Size = %d, want 11", f.Size())
+	}
+	f.SeekTo(0, io.SeekStart)
+	got := make([]byte, 11)
+	f.Read(got)
+	if string(got) != "hello world" {
+		t.Fatalf("contents = %q", got)
+	}
+	f.Close()
+}
+
+func TestWriteGrowthRelocatesExtent(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "grow", make([]byte, 100))
+	f, _, _ := s.Open("grow")
+	f.SeekTo(0, io.SeekEnd)
+	big := make([]byte, 1<<20) // far beyond the initial extent
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if _, _, err := f.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100+1<<20 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	// Contents must survive relocation.
+	f.SeekTo(100, io.SeekStart)
+	got := make([]byte, 4)
+	f.Read(got)
+	if !bytes.Equal(got, big[:4]) {
+		t.Fatalf("relocated contents wrong: %v", got)
+	}
+	f.Close()
+}
+
+func TestSeekWhence(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "s", make([]byte, 100))
+	f, _, _ := s.Open("s")
+	defer f.Close()
+	if pos, _, _ := f.SeekTo(10, io.SeekStart); pos != 10 {
+		t.Fatalf("SeekStart pos = %d", pos)
+	}
+	if pos, _, _ := f.SeekTo(5, io.SeekCurrent); pos != 15 {
+		t.Fatalf("SeekCurrent pos = %d", pos)
+	}
+	if pos, _, _ := f.SeekTo(-10, io.SeekEnd); pos != 90 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if _, _, err := f.SeekTo(-1000, io.SeekCurrent); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, _, err := f.SeekTo(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+}
+
+func TestColdReadSlowerThanWarm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmPagesOnOpen = 0 // isolate the effect
+	s := MustNewFileStore(cfg)
+	mustCreate(t, s, "data", make([]byte, 1<<20))
+	s.Cache().Invalidate()
+	f, _, _ := s.Open("data")
+	defer f.Close()
+	buf := make([]byte, 64<<10)
+	_, cold, _ := f.Read(buf)
+	f.SeekTo(0, io.SeekStart)
+	_, warm, _ := f.Read(buf)
+	if warm >= cold {
+		t.Fatalf("warm %v not faster than cold %v", warm, cold)
+	}
+}
+
+func TestCloseSlowerThanOpenAfterWrites(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "w", make([]byte, 4096))
+	f, openDur, _ := s.Open("w")
+	f.Write(make([]byte, 64<<10))
+	closeDur, err := f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeDur <= openDur {
+		t.Fatalf("close %v not slower than open %v after writes", closeDur, openDur)
+	}
+}
+
+func TestCloseSlowerThanOpenReadOnly(t *testing.T) {
+	// §3.4: close is slower than open even for read-only traces.
+	s := newStore(t)
+	mustCreate(t, s, "r", make([]byte, 4096))
+	f, openDur, _ := s.Open("r")
+	buf := make([]byte, 4096)
+	f.Read(buf)
+	closeDur, _ := f.Close()
+	if closeDur <= openDur {
+		t.Fatalf("read-only close %v not slower than open %v", closeDur, openDur)
+	}
+}
+
+func TestDoubleCloseFails(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "c", []byte("x"))
+	f, _, _ := s.Open("c")
+	f.Close()
+	if _, err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close err = %v, want ErrClosed", err)
+	}
+	if _, _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v", err)
+	}
+	if _, _, err := f.Write([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close err = %v", err)
+	}
+	if _, _, err := f.SeekTo(0, io.SeekStart); !errors.Is(err, ErrClosed) {
+		t.Fatalf("seek after close err = %v", err)
+	}
+}
+
+func TestOpenWarmsLeadingPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmPagesOnOpen = 2
+	s := MustNewFileStore(cfg)
+	mustCreate(t, s, "warm", make([]byte, 1<<20))
+	s.Cache().Invalidate()
+	f, _, _ := s.Open("warm")
+	defer f.Close()
+	// First-page read should be a hit thanks to the open-time warm-up.
+	buf := make([]byte, 4096)
+	_, dur, _ := f.Read(buf)
+	if dur > 100*time.Microsecond {
+		t.Fatalf("read of warmed page took %v, expected warm hit", dur)
+	}
+}
+
+func TestSeekToColdPageCostsMore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmPagesOnOpen = 0
+	s := MustNewFileStore(cfg)
+	mustCreate(t, s, "seeks", make([]byte, 8<<20))
+	s.Cache().Invalidate()
+	f, _, _ := s.Open("seeks")
+	defer f.Close()
+	_, coldSeek, _ := f.SeekTo(4<<20, io.SeekStart)
+	// The background warm-up makes the page resident; a re-seek is cheap.
+	_, warmSeek, _ := f.SeekTo(4<<20, io.SeekStart)
+	if coldSeek <= warmSeek {
+		t.Fatalf("cold seek %v not slower than warm seek %v", coldSeek, warmSeek)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := newStore(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		mustCreate(t, s, n, nil)
+	}
+	names := s.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "yes", nil)
+	if !s.Exists("yes") || s.Exists("no") {
+		t.Fatal("Exists wrong")
+	}
+}
+
+func TestCreateTruncatesInPlace(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "t", []byte("long contents here"))
+	mustCreate(t, s, "t", []byte("hi"))
+	f, _, _ := s.Open("t")
+	defer f.Close()
+	if f.Size() != 2 {
+		t.Fatalf("Size after truncate = %d, want 2", f.Size())
+	}
+}
+
+// Property: write-then-read at random offsets returns exactly the written
+// bytes, for any operation interleaving on one file.
+func TestWriteReadConsistencyProperty(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "p", make([]byte, 1<<16))
+	shadow := make([]byte, 1<<16)
+	f, _, _ := s.Open("p")
+	defer f.Close()
+	op := func(off uint16, val byte, length uint8) bool {
+		data := bytes.Repeat([]byte{val}, int(length))
+		end := int(off) + len(data)
+		if end > len(shadow) {
+			end = len(shadow)
+			data = data[:end-int(off)]
+		}
+		if _, _, err := f.SeekTo(int64(off), io.SeekStart); err != nil {
+			return false
+		}
+		if _, _, err := f.Write(data); err != nil {
+			return false
+		}
+		copy(shadow[off:end], data)
+		if _, _, err := f.SeekTo(int64(off), io.SeekStart); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if len(got) > 0 {
+			if _, _, err := f.Read(got); err != nil && err != io.EOF {
+				return false
+			}
+		}
+		return bytes.Equal(got, shadow[off:end])
+	}
+	if err := quick.Check(op, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClockAdvancesWithOps(t *testing.T) {
+	s := newStore(t)
+	mustCreate(t, s, "clk", make([]byte, 1<<20))
+	before := s.Clock().Now()
+	f, _, _ := s.Open("clk")
+	buf := make([]byte, 1<<20)
+	f.Read(buf)
+	f.Close()
+	if !s.Clock().Now().After(before) {
+		t.Fatal("virtual clock did not advance")
+	}
+}

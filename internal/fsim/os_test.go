@@ -1,0 +1,109 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func newOSStore(t *testing.T) *OSStore {
+	t.Helper()
+	s, err := NewOSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOSStoreRoundTrip(t *testing.T) {
+	s := newOSStore(t)
+	want := []byte("real bytes on a real disk")
+	if _, err := s.Create("f.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := s.Open("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	n, dur, err := f.Read(got)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got[:n], want)
+	}
+	if dur < 0 {
+		t.Fatal("negative duration")
+	}
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSStoreMissing(t *testing.T) {
+	s := newOSStore(t)
+	if _, _, err := s.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if s.Exists("nope") {
+		t.Fatal("Exists(true) for missing file")
+	}
+}
+
+func TestOSStoreSeekWrite(t *testing.T) {
+	s := newOSStore(t)
+	s.Create("sw", make([]byte, 16))
+	f, _, err := s.Open("sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if pos, _, err := f.SeekTo(8, io.SeekStart); err != nil || pos != 8 {
+		t.Fatalf("seek: pos=%d err=%v", pos, err)
+	}
+	if _, _, err := f.Write([]byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	f.SeekTo(8, io.SeekStart)
+	b := make([]byte, 1)
+	f.Read(b)
+	if b[0] != 0xAA {
+		t.Fatalf("read back %x", b[0])
+	}
+	if f.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", f.Size())
+	}
+}
+
+func TestOSStoreDoubleClose(t *testing.T) {
+	s := newOSStore(t)
+	s.Create("dc", nil)
+	f, _, _ := s.Open("dc")
+	f.Close()
+	if _, err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestOSStoreNames(t *testing.T) {
+	s := newOSStore(t)
+	s.Create("b", nil)
+	s.Create("a", nil)
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestOSStoreNameEscapesConfined(t *testing.T) {
+	s := newOSStore(t)
+	// A name trying to escape the root must stay inside it.
+	if _, err := s.Create("../../escape", []byte("x")); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if !s.Exists("../../escape") {
+		t.Fatal("confined name not found via same name")
+	}
+}

@@ -1,0 +1,39 @@
+package metrics
+
+import "testing"
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkSampleQuantile(b *testing.B) {
+	var p Sample
+	for i := 0; i < 10000; i++ {
+		p.Add(float64(i * 2654435761 % 100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Quantile(0.99)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewLatencyHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i%1000) / 100)
+	}
+}
+
+func BenchmarkTableRender(b *testing.B) {
+	tb := NewTable("bench", "a", "b", "c")
+	for i := 0; i < 100; i++ {
+		tb.AddRow(i, float64(i)*1.5, "cell")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Render()
+	}
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series of (label, value) points, the unit the
+// figure renderers consume. Figures 2-6 of the paper are bar or line
+// charts; we regenerate them as ASCII charts plus the raw series values so
+// EXPERIMENTS.md can record paper-vs-measured numbers.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// NewSeries builds a series from parallel label/value slices. It panics on
+// length mismatch — series construction is programmer input.
+func NewSeries(name string, labels []string, values []float64) Series {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("metrics: series %q has %d labels but %d values", name, len(labels), len(values)))
+	}
+	return Series{Name: name, Labels: labels, Values: values}
+}
+
+// Figure is a named collection of series plus axis titles.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series to the figure.
+func (f *Figure) Add(s Series) { f.Series = append(f.Series, s) }
+
+// maxValue returns the largest value across all series (0 if none).
+func (f *Figure) maxValue() float64 {
+	max := 0.0
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// RenderBars draws the figure as grouped horizontal bars, one group per
+// label, one bar per series — the shape of the paper's Figures 2 and 3.
+func (f *Figure) RenderBars(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := f.maxValue()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if max == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	labelW := 0
+	for _, s := range f.Series {
+		for _, l := range s.Labels {
+			if len(l) > labelW {
+				labelW = len(l)
+			}
+		}
+		if len(s.Name) > labelW {
+			labelW = len(s.Name)
+		}
+	}
+	nLabels := 0
+	if len(f.Series) > 0 {
+		nLabels = len(f.Series[0].Labels)
+	}
+	for li := 0; li < nLabels; li++ {
+		fmt.Fprintf(&b, "%s:\n", f.Series[0].Labels[li])
+		for _, s := range f.Series {
+			if li >= len(s.Values) {
+				continue
+			}
+			v := s.Values[li]
+			bar := int(v / max * float64(width))
+			if bar == 0 && v > 0 {
+				bar = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%-*s| %.4g\n", labelW, s.Name, width, strings.Repeat("#", bar), v)
+		}
+	}
+	fmt.Fprintf(&b, "(x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	return b.String()
+}
+
+// RenderLines draws the figure as an ASCII scatter/line chart — the shape
+// of the paper's Figures 4-6. Each series gets a distinct marker.
+func (f *Figure) RenderLines(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	max := f.maxValue()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if max == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	markers := []byte{'*', 'o', '+', 'x', '@'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	nPoints := 0
+	for _, s := range f.Series {
+		if len(s.Values) > nPoints {
+			nPoints = len(s.Values)
+		}
+	}
+	if nPoints == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			x := 0
+			if nPoints > 1 {
+				x = i * (width - 1) / (nPoints - 1)
+			}
+			y := height - 1 - int(math.Round(v/max*float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = m
+		}
+	}
+	for i, row := range grid {
+		yval := max * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%8.3g |%s\n", yval, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	// X-axis tick labels from the first series.
+	if len(f.Series) > 0 && len(f.Series[0].Labels) > 0 {
+		fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(f.Series[0].Labels, "  "))
+	}
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "(x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	return b.String()
+}
+
+// CSV exports the figure's series as label,series1,series2,... rows.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	writeCSVRow(&b, header)
+	nPoints := 0
+	for _, s := range f.Series {
+		if len(s.Labels) > nPoints {
+			nPoints = len(s.Labels)
+		}
+	}
+	for i := 0; i < nPoints; i++ {
+		row := make([]string, 0, len(f.Series)+1)
+		label := ""
+		if len(f.Series) > 0 && i < len(f.Series[0].Labels) {
+			label = f.Series[0].Labels[i]
+		}
+		row = append(row, label)
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, formatFloat(s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}

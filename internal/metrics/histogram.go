@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-scale latency histogram. Buckets are powers of the
+// growth factor starting at min; observations below min land in bucket 0
+// and observations at or above the last boundary land in the overflow
+// bucket. It is tuned for the microsecond-to-second latency spans the
+// trace replays produce.
+type Histogram struct {
+	min    float64 // lower bound of bucket 1, in ms
+	growth float64 // bucket boundary ratio, > 1
+	counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with nbuckets buckets, the first
+// boundary at min milliseconds, and geometric bucket growth. NewHistogram
+// panics if the parameters cannot form a valid histogram; construction
+// parameters are programmer input, not data.
+func NewHistogram(min, growth float64, nbuckets int) *Histogram {
+	if min <= 0 || growth <= 1 || nbuckets < 2 {
+		panic(fmt.Sprintf("metrics: invalid histogram (min=%v growth=%v nbuckets=%d)", min, growth, nbuckets))
+	}
+	return &Histogram{min: min, growth: growth, counts: make([]int64, nbuckets)}
+}
+
+// NewLatencyHistogram returns the default histogram used across the suite:
+// 48 buckets from 100 ns (1e-4 ms) growing by ×2, spanning up to hours.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(1e-4, 2, 48)
+}
+
+// bucketFor maps a millisecond value to a bucket index.
+func (h *Histogram) bucketFor(ms float64) int {
+	if ms < h.min {
+		return 0
+	}
+	idx := 1 + int(math.Floor(math.Log(ms/h.min)/math.Log(h.growth)))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// Boundary returns the lower boundary (in ms) of bucket i; bucket 0 has
+// boundary 0.
+func (h *Histogram) Boundary(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return h.min * math.Pow(h.growth, float64(i-1))
+}
+
+// Add records a latency in milliseconds.
+func (h *Histogram) Add(ms float64) {
+	h.counts[h.bucketFor(ms)]++
+	h.total++
+}
+
+// AddDuration records a duration.
+func (h *Histogram) AddDuration(d time.Duration) {
+	h.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the population of bucket i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Quantile estimates the q-quantile by assuming observations are uniform
+// within a bucket. Exactness is not needed here — reports that print exact
+// per-request numbers use Sample instead.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := h.Boundary(i)
+			hi := h.Boundary(i + 1)
+			if i == len(h.counts)-1 || hi == 0 {
+				return lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.Boundary(len(h.counts))
+}
+
+// Render draws the histogram as ASCII art, one row per non-empty bucket.
+func (h *Histogram) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(float64(c) / float64(max) * float64(width))
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%12s ms |%-*s| %d\n",
+			trimFloat(h.Boundary(i)), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}

@@ -1,0 +1,313 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEqual(s.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatalf("empty summary must be all zeros: %s", s.String())
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(2500 * time.Microsecond)
+	if !almostEqual(s.Mean(), 2.5, 1e-12) {
+		t.Fatalf("AddDuration mean = %v ms, want 2.5", s.Mean())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var sa, sb, all Summary
+		for _, x := range a {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // avoid catastrophic cancellation; not what Merge is for
+			}
+			sa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			sb.Add(x)
+			all.Add(x)
+		}
+		sa.Merge(&sb)
+		if sa.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return almostEqual(sa.Mean(), all.Mean(), 1e-6*scale) &&
+			sa.Min() == all.Min() && sa.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge with empty changed summary: %s", a.String())
+	}
+	var c Summary
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Fatalf("merge into empty failed: %s", c.String())
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var p Sample
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	if got := p.Median(); !almostEqual(got, 50.5, 1e-9) {
+		t.Fatalf("Median = %v, want 50.5", got)
+	}
+	if got := p.Quantile(0); got != 1 {
+		t.Fatalf("Q0 = %v, want 1", got)
+	}
+	if got := p.Quantile(1); got != 100 {
+		t.Fatalf("Q1 = %v, want 100", got)
+	}
+	if got := p.Quantile(0.99); got < 99 || got > 100 {
+		t.Fatalf("Q99 = %v, want in [99,100]", got)
+	}
+}
+
+func TestSampleEmptyQuantile(t *testing.T) {
+	var p Sample
+	if p.Quantile(0.5) != 0 || p.Mean() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSampleQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var p Sample
+	for i := 0; i < 500; i++ {
+		p.Add(rng.ExpFloat64())
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := p.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(1.0) // all in the same bucket
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d, want 1000", h.Total())
+	}
+	q := h.Quantile(0.5)
+	// 1.0 ms should be bracketed by its bucket boundaries.
+	if q <= 0 || q > 2.0 {
+		t.Fatalf("Quantile(0.5) = %v, want within (0, 2]", q)
+	}
+}
+
+func TestHistogramBoundaryMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	prev := -1.0
+	for i := 0; i < h.Buckets(); i++ {
+		b := h.Boundary(i)
+		if b < prev {
+			t.Fatalf("boundary %d = %v < previous %v", i, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Add(0.0001) // underflow -> bucket 0
+	h.Add(1e9)    // overflow -> last bucket
+	if h.Count(0) != 1 {
+		t.Fatalf("underflow bucket = %d, want 1", h.Count(0))
+	}
+	if h.Count(h.Buckets()-1) != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h.Count(h.Buckets()-1))
+	}
+}
+
+func TestHistogramInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with growth<=1 must panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestHistogramRenderNonEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(0.5)
+	h.Add(0.5)
+	h.Add(4)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render missing bars:\n%s", out)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := NewTable("Table 1. Results", "Appl. name", "Data size (Bytes)", "Read time (ms)")
+	tb.AddRow("Data Mining", 131072, 0.0025)
+	tb.AddRow("Tiny", 4, 7.88e-5)
+	out := tb.Render()
+	for _, want := range []string{"Table 1. Results", "Data Mining", "131072", "0.0025", "7.88E-05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "Data Mining,131072,0.0025") {
+		t.Errorf("csv missing row: %s", csv)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+	if tb.Cell(1, 2) != "7.88E-05" {
+		t.Errorf("Cell(1,2) = %q", tb.Cell(1, 2))
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only")
+	if tb.Cell(0, 1) != "" || tb.Cell(0, 2) != "" {
+		t.Fatal("short row must be padded with empty cells")
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow(`comma, and "quote"`, 1)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"comma, and ""quote"""`) {
+		t.Fatalf("csv quoting wrong: %s", csv)
+	}
+}
+
+func TestFigureBars(t *testing.T) {
+	fig := NewFigure("Figure 2", "component", "Execution Time (Sec.)")
+	fig.Add(NewSeries("CPU", []string{"Application", "Program1", "Program2"}, []float64{100, 80, 20}))
+	fig.Add(NewSeries("IO", []string{"Application", "Program1", "Program2"}, []float64{70, 20, 50}))
+	out := fig.RenderBars(30)
+	for _, want := range []string{"Figure 2", "Application", "CPU", "IO", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bars missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureLines(t *testing.T) {
+	fig := NewFigure("Figure 4", "Number of Disks", "Speedup")
+	fig.Add(NewSeries("speedup", []string{"2", "4", "8", "16", "32"}, []float64{1.0, 1.05, 1.1, 1.15, 1.2}))
+	out := fig.RenderLines(40, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "Figure 4") {
+		t.Fatalf("lines render wrong:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := NewFigure("f", "x", "y")
+	fig.Add(NewSeries("s1", []string{"2", "4"}, []float64{1, 2}))
+	fig.Add(NewSeries("s2", []string{"2", "4"}, []float64{3, 4}))
+	csv := fig.CSV()
+	if !strings.Contains(csv, "x,s1,s2") || !strings.Contains(csv, "2,1,3") {
+		t.Fatalf("figure csv wrong: %s", csv)
+	}
+}
+
+func TestSeriesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSeries length mismatch must panic")
+		}
+	}()
+	NewSeries("bad", []string{"a"}, []float64{1, 2})
+}
+
+func TestFigureEmpty(t *testing.T) {
+	fig := NewFigure("empty", "x", "y")
+	if out := fig.RenderBars(20); !strings.Contains(out, "no data") {
+		t.Fatalf("empty bars: %s", out)
+	}
+	if out := fig.RenderLines(20, 6); !strings.Contains(out, "no data") {
+		t.Fatalf("empty lines: %s", out)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	var p Sample
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	cdf := p.CDF(5)
+	if len(cdf.Values) != 5 {
+		t.Fatalf("CDF has %d points", len(cdf.Values))
+	}
+	if cdf.Labels[0] != "p0" || cdf.Labels[4] != "p100" {
+		t.Fatalf("labels = %v", cdf.Labels)
+	}
+	if cdf.Values[0] != 1 || cdf.Values[4] != 100 {
+		t.Fatalf("endpoints = %v, %v", cdf.Values[0], cdf.Values[4])
+	}
+	for i := 1; i < len(cdf.Values); i++ {
+		if cdf.Values[i] < cdf.Values[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	// Degenerate point counts are clamped.
+	if got := p.CDF(1); len(got.Values) != 2 {
+		t.Fatalf("CDF(1) has %d points, want clamped 2", len(got.Values))
+	}
+}

@@ -1,0 +1,210 @@
+// Package metrics provides the measurement and reporting substrate for the
+// benchmark suite: online summary statistics, latency histograms, and the
+// table/figure renderers that regenerate the paper's Tables 1-6 and
+// Figures 2-6 as text.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates online count/mean/variance/min/max for a stream of
+// float64 observations using Welford's algorithm. The zero value is ready
+// to use. Summary is not safe for concurrent use; wrap it or shard it.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddDuration folds a duration, recorded in milliseconds, into the summary.
+// Milliseconds are the paper's reporting unit throughout.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance, or 0 for fewer than two
+// observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Sum returns mean*n, the total of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Merge folds other into s so that s summarizes both streams. Merging uses
+// the parallel-variance formula and is exact up to floating-point error.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	min, max := s.min, s.max
+	if other.min < min {
+		min = other.min
+	}
+	if other.max > max {
+		max = other.max
+	}
+	*s = Summary{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// String renders the summary compactly for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.Stddev(), s.Min(), s.Max())
+}
+
+// Sample retains every observation so that exact quantiles can be computed.
+// Use Summary when only moments are needed; Sample when the report prints
+// percentiles or per-request rows (the paper's Tables 3, 4, 6 list every
+// request individually).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (p *Sample) Add(x float64) {
+	p.xs = append(p.xs, x)
+	p.sorted = false
+}
+
+// AddDuration appends a duration in milliseconds.
+func (p *Sample) AddDuration(d time.Duration) {
+	p.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (p *Sample) N() int { return len(p.xs) }
+
+// Values returns the observations in insertion order. The returned slice
+// aliases internal storage; callers must not mutate it.
+func (p *Sample) Values() []float64 {
+	if p.sorted {
+		// Sorting reordered the backing array; insertion order is gone,
+		// but callers that interleave Quantile and Values accept sorted
+		// order. Document rather than copy: hot path.
+		return p.xs
+	}
+	return p.xs
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. It returns 0 for an empty sample.
+func (p *Sample) Quantile(q float64) float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	if !p.sorted {
+		sort.Float64s(p.xs)
+		p.sorted = true
+	}
+	if q <= 0 {
+		return p.xs[0]
+	}
+	if q >= 1 {
+		return p.xs[len(p.xs)-1]
+	}
+	pos := q * float64(len(p.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return p.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return p.xs[lo]*(1-frac) + p.xs[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (p *Sample) Median() float64 { return p.Quantile(0.5) }
+
+// Mean returns the arithmetic mean of the sample.
+func (p *Sample) Mean() float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range p.xs {
+		sum += x
+	}
+	return sum / float64(len(p.xs))
+}
+
+// CDF returns the sample's empirical distribution as a Series of nPoints
+// evenly spaced quantiles (labelled p0, p5, ... for nPoints=21), ready
+// for Figure rendering — the latency-distribution view load tests print.
+func (p *Sample) CDF(nPoints int) Series {
+	if nPoints < 2 {
+		nPoints = 2
+	}
+	labels := make([]string, nPoints)
+	values := make([]float64, nPoints)
+	for i := 0; i < nPoints; i++ {
+		q := float64(i) / float64(nPoints-1)
+		labels[i] = fmt.Sprintf("p%d", int(q*100))
+		values[i] = p.Quantile(q)
+	}
+	return NewSeries("cdf", labels, values)
+}

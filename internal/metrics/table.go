@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables in the style of the paper's Tables 1-6
+// and exports the same rows as CSV. Columns are fixed at construction;
+// rows are formatted values.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
+// AddRow appends a row. Each cell is rendered with %v; float64 cells use
+// the paper's compact scientific style via FormatCell. Rows shorter than
+// the header are padded with empty cells; longer rows are an error in the
+// caller and are truncated.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = FormatCell(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the rendered cell at (row, col); empty string out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.headers) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// FormatCell renders one cell. Floats smaller than 1e-3 (but nonzero) are
+// printed in scientific notation, matching how the paper prints
+// sub-microsecond latencies (e.g. 7.88E-05).
+func FormatCell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(f float64) string {
+	if f != 0 && f < 1e-3 && f > -1e-3 {
+		return fmt.Sprintf("%.2E", f)
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+// Render returns the table as aligned text with a rule under the header.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	total += 2 * (len(widths) - 1)
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}

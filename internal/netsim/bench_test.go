@@ -1,0 +1,33 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSend(b *testing.B) {
+	nw := MustNew(16, LANParams())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Send(now, i%16, (i+1)%16, 64<<10)
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	nw := MustNew(32, LANParams())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = nw.Barrier(now)
+	}
+}
+
+func BenchmarkAllReduce(b *testing.B) {
+	nw := MustNew(32, LANParams())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = nw.AllReduce(now, 4096)
+	}
+}

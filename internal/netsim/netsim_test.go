@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Unix(0, 0)
+
+func TestParamsValidate(t *testing.T) {
+	if err := LANParams().Validate(); err != nil {
+		t.Fatalf("LAN params invalid: %v", err)
+	}
+	if err := WANParams().Validate(); err != nil {
+		t.Fatalf("WAN params invalid: %v", err)
+	}
+	bad := []Params{
+		{Latency: -1, Bandwidth: 1},
+		{Latency: 0, Bandwidth: 0},
+		{Latency: 0, Bandwidth: 1, PerMessageCPU: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, LANParams()); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(4, Params{Bandwidth: -1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestMessageCostComponents(t *testing.T) {
+	p := LANParams()
+	zero := p.MessageCost(0)
+	big := p.MessageCost(100 << 20) // 1 second of transfer at 100 MB/s
+	if zero != p.PerMessageCPU+p.Latency {
+		t.Fatalf("zero-byte cost = %v", zero)
+	}
+	if big-zero < 900*time.Millisecond {
+		t.Fatalf("transfer term missing: %v", big)
+	}
+}
+
+func TestSendDelivery(t *testing.T) {
+	nw := MustNew(4, LANParams())
+	done, err := nw.Send(t0, 0, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LANParams().MessageCost(1 << 20)
+	if got := done.Sub(t0); got != want {
+		t.Fatalf("delivery %v, want %v", got, want)
+	}
+}
+
+func TestSendSelfIsCheap(t *testing.T) {
+	nw := MustNew(2, LANParams())
+	done, err := nw.Send(t0, 1, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Sub(t0); got != LANParams().PerMessageCPU {
+		t.Fatalf("self-send cost %v, want software overhead only", got)
+	}
+}
+
+func TestSendBoundsChecked(t *testing.T) {
+	nw := MustNew(2, LANParams())
+	if _, err := nw.Send(t0, -1, 0, 1); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := nw.Send(t0, 0, 5, 1); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if _, err := nw.Send(t0, 0, 1, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestNICSerializesSends(t *testing.T) {
+	nw := MustNew(3, LANParams())
+	d1, _ := nw.Send(t0, 0, 1, 1<<20)
+	d2, _ := nw.Send(t0, 0, 2, 1<<20) // same source: must queue
+	if !d2.After(d1) {
+		t.Fatalf("second send from same NIC not serialized: %v vs %v", d2, d1)
+	}
+	// Different sources do not queue on each other.
+	nw2 := MustNew(3, LANParams())
+	e1, _ := nw2.Send(t0, 0, 2, 1<<20)
+	e2, _ := nw2.Send(t0, 1, 2, 1<<20)
+	if !e1.Equal(e2) {
+		t.Fatalf("independent NICs interfered: %v vs %v", e1, e2)
+	}
+}
+
+func TestBarrierScalesLogarithmically(t *testing.T) {
+	cost := func(nodes int) time.Duration {
+		nw := MustNew(nodes, LANParams())
+		return nw.Barrier(t0).Sub(t0)
+	}
+	c2, c16, c17, c32 := cost(2), cost(16), cost(17), cost(32)
+	if c2 >= c16 {
+		t.Fatalf("barrier cost not growing: %v vs %v", c2, c16)
+	}
+	// 16 -> 17 nodes crosses a log2 boundary; 17 and 32 share ⌈log₂⌉ = 5.
+	if c17 != c32 {
+		t.Fatalf("17 and 32 nodes should share rounds: %v vs %v", c17, c32)
+	}
+	if c16 >= c17 {
+		t.Fatalf("log boundary missing: %v vs %v", c16, c17)
+	}
+	// Single node: free.
+	if cost(1) != 0 {
+		t.Fatalf("1-node barrier cost %v, want 0", cost(1))
+	}
+}
+
+func TestBarrierWaitsForBusyNICs(t *testing.T) {
+	nw := MustNew(4, LANParams())
+	sendDone, _ := nw.Send(t0, 2, 3, 10<<20) // keep NIC 2 busy
+	barrierDone := nw.Barrier(t0)
+	if !barrierDone.After(sendDone) {
+		t.Fatalf("barrier %v did not wait for busy NIC until %v", barrierDone, sendDone)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	nw := MustNew(8, LANParams())
+	done, err := nw.Broadcast(t0, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * LANParams().MessageCost(1<<20) // log2(8) rounds
+	if got := done.Sub(t0); got != want {
+		t.Fatalf("broadcast = %v, want %v", got, want)
+	}
+	if _, err := nw.Broadcast(t0, 99, 1); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestAllReduceCost(t *testing.T) {
+	nw := MustNew(4, LANParams())
+	done := nw.AllReduce(t0, 4096)
+	want := 2 * LANParams().MessageCost(4096)
+	if got := done.Sub(t0); got != want {
+		t.Fatalf("allreduce = %v, want %v", got, want)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	nw := MustNew(9, LANParams())
+	done := nw.Exchange(t0, 64<<10, 4) // 2D halo: 4 neighbours
+	want := 4 * LANParams().MessageCost(64<<10)
+	if got := done.Sub(t0); got != want {
+		t.Fatalf("exchange = %v, want %v", got, want)
+	}
+	if nw.Exchange(done, 64<<10, 0) != done {
+		t.Fatal("zero-neighbour exchange should be free")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	nw := MustNew(4, LANParams())
+	nw.Send(t0, 0, 1, 1000)
+	nw.Barrier(t0)
+	s := nw.Stats()
+	if s.Messages == 0 || s.Bytes != 1000 || s.Collective != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	nw.Reset()
+	if s := nw.Stats(); s.Messages != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestWANSlowerThanLAN(t *testing.T) {
+	lan := MustNew(2, LANParams())
+	wan := MustNew(2, WANParams())
+	dl, _ := lan.Send(t0, 0, 1, 1<<20)
+	dw, _ := wan.Send(t0, 0, 1, 1<<20)
+	if !dw.After(dl) {
+		t.Fatalf("WAN %v not slower than LAN %v", dw, dl)
+	}
+}
+
+func TestSendDeliveryMonotoneProperty(t *testing.T) {
+	nw := MustNew(4, LANParams())
+	now := t0
+	f := func(src, dst uint8, size uint16) bool {
+		done, err := nw.Send(now, int(src)%4, int(dst)%4, int64(size))
+		if err != nil {
+			return false
+		}
+		return !done.Before(now)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5}
+	for in, want := range cases {
+		if got := log2ceil(in); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

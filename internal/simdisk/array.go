@@ -1,0 +1,148 @@
+package simdisk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Array stripes a logical address space across N identical disks (RAID-0
+// style), the configuration swept by the paper's Figure 4 disk-scaling
+// experiment. A logical request is split at stripe-unit boundaries, the
+// pieces are issued to their disks concurrently, and the array completes
+// when the slowest piece completes.
+type Array struct {
+	disks      []*Disk
+	stripeUnit int64
+	level      Level
+}
+
+// NewArray builds an array of n disks with parameters p and the given
+// stripe unit in bytes.
+func NewArray(n int, stripeUnit int64, p Params) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simdisk: array needs at least 1 disk, got %d", n)
+	}
+	if stripeUnit <= 0 {
+		return nil, fmt.Errorf("simdisk: stripe unit %d must be positive", stripeUnit)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{stripeUnit: stripeUnit}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, MustNew(p))
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray that panics on error, for literal wiring.
+func MustNewArray(n int, stripeUnit int64, p Params) *Array {
+	a, err := NewArray(n, stripeUnit, p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NumDisks returns the number of member disks.
+func (a *Array) NumDisks() int { return len(a.disks) }
+
+// StripeUnit returns the stripe unit in bytes.
+func (a *Array) StripeUnit() int64 { return a.stripeUnit }
+
+// Disk returns member disk i (for stats inspection).
+func (a *Array) Disk(i int) *Disk { return a.disks[i] }
+
+// Capacity returns the logical capacity after redundancy overhead: all
+// members for RAID-0, one member for RAID-1, n-1 members for RAID-5.
+func (a *Array) Capacity() int64 { return a.usableCapacity() }
+
+// Map translates a logical byte offset to (disk index, physical offset).
+// The mapping is the usual striping bijection: stripe s lives on disk
+// s mod N at physical stripe s div N.
+func (a *Array) Map(logical int64) (disk int, physical int64) {
+	if logical < 0 {
+		logical = 0
+	}
+	stripe := logical / a.stripeUnit
+	within := logical % a.stripeUnit
+	disk = int(stripe % int64(len(a.disks)))
+	physical = (stripe/int64(len(a.disks)))*a.stripeUnit + within
+	return disk, physical
+}
+
+// Unmap is the inverse of Map, reconstructing the logical offset from a
+// (disk, physical) pair. Together with Map it witnesses that striping is a
+// bijection — a property test pins this down.
+func (a *Array) Unmap(disk int, physical int64) int64 {
+	stripeOnDisk := physical / a.stripeUnit
+	within := physical % a.stripeUnit
+	stripe := stripeOnDisk*int64(len(a.disks)) + int64(disk)
+	return stripe*a.stripeUnit + within
+}
+
+// Access services a logical request starting no earlier than now,
+// routing it according to the array's level. It returns the completion
+// time and the elapsed duration from now to that completion.
+func (a *Array) Access(now time.Time, req Request) (done time.Time, elapsed time.Duration) {
+	done = a.accessLeveled(now, req)
+	return done, done.Sub(now)
+}
+
+// accessStriped is the RAID-0 path: the request is split at stripe
+// boundaries and the pieces are issued to their member disks
+// concurrently.
+func (a *Array) accessStriped(now time.Time, req Request) (done time.Time, elapsed time.Duration) {
+	if req.Length <= 0 {
+		// Pure positioning: charge the owning disk only.
+		disk, phys := a.Map(req.Offset)
+		done, _ = a.disks[disk].Access(now, Request{Offset: phys, Length: 0, Write: req.Write})
+		return done, done.Sub(now)
+	}
+	done = now
+	off := req.Offset
+	remaining := req.Length
+	for remaining > 0 {
+		disk, phys := a.Map(off)
+		// Length of this piece: up to the next stripe boundary.
+		pieceLen := a.stripeUnit - off%a.stripeUnit
+		if pieceLen > remaining {
+			pieceLen = remaining
+		}
+		// Coalesce consecutive stripes that land on the same disk when the
+		// array has one member (the degenerate case), otherwise issue per
+		// stripe piece.
+		pieceDone, _ := a.disks[disk].Access(now, Request{Offset: phys, Length: pieceLen, Write: req.Write})
+		if pieceDone.After(done) {
+			done = pieceDone
+		}
+		off += pieceLen
+		remaining -= pieceLen
+	}
+	return done, done.Sub(now)
+}
+
+// Reset resets every member disk.
+func (a *Array) Reset() {
+	for _, d := range a.disks {
+		d.Reset()
+	}
+}
+
+// TotalStats sums the member disks' statistics.
+func (a *Array) TotalStats() Stats {
+	var total Stats
+	for _, d := range a.disks {
+		s := d.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.BytesRead += s.BytesRead
+		total.BytesWritten += s.BytesWritten
+		total.SeekTime += s.SeekTime
+		total.RotationTime += s.RotationTime
+		total.TransferTime += s.TransferTime
+		total.BusyTime += s.BusyTime
+		total.QueueWaitedTime += s.QueueWaitedTime
+	}
+	return total
+}

@@ -1,0 +1,127 @@
+package simdisk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testArray(n int) *Array {
+	return MustNewArray(n, 64<<10, testParams())
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(0, 64<<10, testParams()); err == nil {
+		t.Error("accepted zero disks")
+	}
+	if _, err := NewArray(4, 0, testParams()); err == nil {
+		t.Error("accepted zero stripe unit")
+	}
+	bad := testParams()
+	bad.RPM = 0
+	if _, err := NewArray(4, 64<<10, bad); err == nil {
+		t.Error("accepted invalid disk params")
+	}
+}
+
+func TestMapUnmapBijectionProperty(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32} {
+		a := testArray(n)
+		f := func(raw int64) bool {
+			logical := raw % a.Capacity()
+			if logical < 0 {
+				logical = -logical
+			}
+			disk, phys := a.Map(logical)
+			if disk < 0 || disk >= a.NumDisks() {
+				return false
+			}
+			return a.Unmap(disk, phys) == logical
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMapSpreadsConsecutiveStripes(t *testing.T) {
+	a := testArray(4)
+	unit := a.StripeUnit()
+	seen := map[int]bool{}
+	for s := int64(0); s < 4; s++ {
+		disk, _ := a.Map(s * unit)
+		seen[disk] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 consecutive stripes hit %d disks, want 4", len(seen))
+	}
+}
+
+func TestLargeRequestsParallelizeAcrossDisks(t *testing.T) {
+	now := time.Unix(0, 0)
+	req := Request{Offset: 0, Length: 8 << 20} // 8 MB spans many stripes
+	a1 := testArray(1)
+	_, t1 := a1.Access(now, req)
+	a8 := testArray(8)
+	_, t8 := a8.Access(now, req)
+	if t8 >= t1 {
+		t.Fatalf("8-disk array not faster for large striped read: 1 disk %v, 8 disks %v", t1, t8)
+	}
+}
+
+func TestSmallRequestsDoNotParallelize(t *testing.T) {
+	now := time.Unix(0, 0)
+	req := Request{Offset: 0, Length: 4 << 10} // within one stripe unit
+	a1 := testArray(1)
+	_, t1 := a1.Access(now, req)
+	a8 := testArray(8)
+	_, t8 := a8.Access(now, req)
+	// A request inside one stripe touches a single disk; no speedup.
+	diff := t8 - t1
+	if diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("small request times diverge: 1 disk %v, 8 disks %v", t1, t8)
+	}
+}
+
+func TestZeroLengthAccessPositionsOneDisk(t *testing.T) {
+	a := testArray(4)
+	now := time.Unix(0, 0)
+	done, elapsed := a.Access(now, Request{Offset: 128 << 10, Length: 0})
+	if elapsed <= 0 || !done.After(now) {
+		t.Fatalf("zero-length access must still cost positioning: %v", elapsed)
+	}
+	if total := a.TotalStats().Ops(); total != 1 {
+		t.Fatalf("zero-length access touched %d disks, want 1", total)
+	}
+}
+
+func TestTotalStatsSumsBytes(t *testing.T) {
+	a := testArray(4)
+	now := time.Unix(0, 0)
+	a.Access(now, Request{Offset: 0, Length: 1 << 20, Write: false})
+	a.Access(now, Request{Offset: 1 << 20, Length: 512 << 10, Write: true})
+	s := a.TotalStats()
+	if s.BytesRead != 1<<20 {
+		t.Fatalf("BytesRead = %d, want %d", s.BytesRead, 1<<20)
+	}
+	if s.BytesWritten != 512<<10 {
+		t.Fatalf("BytesWritten = %d, want %d", s.BytesWritten, 512<<10)
+	}
+}
+
+func TestArrayResetClearsMembers(t *testing.T) {
+	a := testArray(2)
+	a.Access(time.Unix(0, 0), Request{Offset: 0, Length: 1 << 20})
+	a.Reset()
+	if a.TotalStats().Ops() != 0 {
+		t.Fatal("reset did not clear member stats")
+	}
+}
+
+func TestArrayCapacity(t *testing.T) {
+	a := testArray(4)
+	want := 4 * testParams().Capacity
+	if a.Capacity() != want {
+		t.Fatalf("Capacity = %d, want %d", a.Capacity(), want)
+	}
+}

@@ -1,0 +1,52 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkDiskAccessSequential(b *testing.B) {
+	d := MustNew(DefaultParams())
+	now := time.Unix(0, 0)
+	var off int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(now, Request{Offset: off, Length: 64 << 10})
+		off += 64 << 10
+		if off >= d.Params().Capacity-(64<<10) {
+			off = 0
+		}
+	}
+}
+
+func BenchmarkDiskAccessRandom(b *testing.B) {
+	d := MustNew(DefaultParams())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i*2654435761) % d.Params().Capacity
+		if off < 0 {
+			off += d.Params().Capacity
+		}
+		d.Access(now, Request{Offset: off, Length: 4 << 10})
+	}
+}
+
+func BenchmarkArrayAccessStriped(b *testing.B) {
+	a := MustNewArray(8, 64<<10, DefaultParams())
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Access(now, Request{Offset: int64(i) * (1 << 20) % (a.Capacity() - (1 << 20)), Length: 1 << 20})
+	}
+}
+
+func BenchmarkServeBatchSSTF(b *testing.B) {
+	d := MustNew(DefaultParams())
+	reqs := scatteredBatch(d, 32)
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ServeBatch(now, reqs, SSTF)
+	}
+}

@@ -1,0 +1,167 @@
+package simdisk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Level selects the array's redundancy scheme. The paper's Figure 4
+// sweeps a striped (RAID-0) array; mirroring and rotating parity are the
+// two classic alternatives a storage substrate must offer, and
+// BenchmarkAblationRAID quantifies their write penalties on the paper's
+// workloads.
+type Level int
+
+// Redundancy levels.
+const (
+	// RAID0 stripes with no redundancy (the default).
+	RAID0 Level = iota
+	// RAID1 mirrors every write to all members and serves reads from a
+	// rotating member.
+	RAID1
+	// RAID5 stripes with one rotating parity block per stripe row; small
+	// writes pay the classic read-modify-write penalty.
+	RAID5
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID0"
+	case RAID1:
+		return "RAID1"
+	case RAID5:
+		return "RAID5"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// NewArrayLevel builds an array with the given redundancy level. RAID5
+// requires at least three members; RAID1 at least two.
+func NewArrayLevel(n int, stripeUnit int64, level Level, p Params) (*Array, error) {
+	switch level {
+	case RAID0:
+	case RAID1:
+		if n < 2 {
+			return nil, fmt.Errorf("simdisk: RAID1 needs at least 2 disks, got %d", n)
+		}
+	case RAID5:
+		if n < 3 {
+			return nil, fmt.Errorf("simdisk: RAID5 needs at least 3 disks, got %d", n)
+		}
+	default:
+		return nil, fmt.Errorf("simdisk: unknown RAID level %d", level)
+	}
+	a, err := NewArray(n, stripeUnit, p)
+	if err != nil {
+		return nil, err
+	}
+	a.level = level
+	return a, nil
+}
+
+// Level returns the array's redundancy level.
+func (a *Array) Level() Level { return a.level }
+
+// usableCapacity returns the logical capacity under the level's
+// redundancy overhead.
+func (a *Array) usableCapacity() int64 {
+	per := a.disks[0].params.Capacity
+	switch a.level {
+	case RAID1:
+		return per
+	case RAID5:
+		return per * int64(len(a.disks)-1)
+	default:
+		return per * int64(len(a.disks))
+	}
+}
+
+// accessLeveled routes one logical request according to the array level.
+// now is the earliest start; it returns the completion time.
+func (a *Array) accessLeveled(now time.Time, req Request) time.Time {
+	switch a.level {
+	case RAID1:
+		return a.accessMirrored(now, req)
+	case RAID5:
+		return a.accessParity(now, req)
+	default:
+		done, _ := a.accessStriped(now, req)
+		return done
+	}
+}
+
+// accessMirrored serves RAID-1: reads go to one member chosen by stripe
+// rotation (spreading load deterministically); writes go to every member
+// and complete when the slowest mirror does.
+func (a *Array) accessMirrored(now time.Time, req Request) time.Time {
+	if !req.Write {
+		member := int(req.Offset / a.stripeUnit % int64(len(a.disks)))
+		done, _ := a.disks[member].Access(now, Request{Offset: req.Offset, Length: req.Length})
+		return done
+	}
+	done := now
+	for _, d := range a.disks {
+		mirrorDone, _ := d.Access(now, Request{Offset: req.Offset, Length: req.Length, Write: true})
+		if mirrorDone.After(done) {
+			done = mirrorDone
+		}
+	}
+	return done
+}
+
+// accessParity serves RAID-5 over n-1 data members plus rotating parity.
+// Reads behave like RAID-0 over the data mapping. A write to a block
+// performs the read-modify-write sequence: read old data, read old
+// parity, write new data, write new parity (4 member I/Os per block).
+func (a *Array) accessParity(now time.Time, req Request) time.Time {
+	n := int64(len(a.disks))
+	dataDisks := n - 1
+	done := now
+	off := req.Offset
+	remaining := req.Length
+	if remaining <= 0 {
+		remaining = 1 // pure positioning still touches the owning member
+	}
+	for remaining > 0 {
+		stripe := off / a.stripeUnit
+		within := off % a.stripeUnit
+		pieceLen := a.stripeUnit - within
+		if pieceLen > remaining {
+			pieceLen = remaining
+		}
+		row := stripe / dataDisks
+		parityDisk := int(row % n)
+		dataIdx := int(stripe % dataDisks)
+		// Skip the parity member when laying out data in the row.
+		disk := dataIdx
+		if disk >= parityDisk {
+			disk++
+		}
+		phys := row*a.stripeUnit + within
+		if !req.Write {
+			pieceDone, _ := a.disks[disk].Access(now, Request{Offset: phys, Length: pieceLen})
+			if pieceDone.After(done) {
+				done = pieceDone
+			}
+		} else {
+			// Read-modify-write: old data + old parity, then new data +
+			// new parity. The two member chains run concurrently.
+			dOld, _ := a.disks[disk].Access(now, Request{Offset: phys, Length: pieceLen})
+			dNew, _ := a.disks[disk].Access(dOld, Request{Offset: phys, Length: pieceLen, Write: true})
+			pOld, _ := a.disks[parityDisk].Access(now, Request{Offset: phys, Length: pieceLen})
+			pNew, _ := a.disks[parityDisk].Access(pOld, Request{Offset: phys, Length: pieceLen, Write: true})
+			if dNew.After(done) {
+				done = dNew
+			}
+			if pNew.After(done) {
+				done = pNew
+			}
+		}
+		off += pieceLen
+		remaining -= pieceLen
+	}
+	return done
+}

@@ -1,0 +1,144 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+var raidNow = time.Unix(0, 0)
+
+func TestNewArrayLevelValidation(t *testing.T) {
+	if _, err := NewArrayLevel(1, 64<<10, RAID1, testParams()); err == nil {
+		t.Error("RAID1 with 1 disk accepted")
+	}
+	if _, err := NewArrayLevel(2, 64<<10, RAID5, testParams()); err == nil {
+		t.Error("RAID5 with 2 disks accepted")
+	}
+	if _, err := NewArrayLevel(4, 64<<10, Level(9), testParams()); err == nil {
+		t.Error("unknown level accepted")
+	}
+	a, err := NewArrayLevel(4, 64<<10, RAID5, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Level() != RAID5 {
+		t.Fatalf("Level = %v", a.Level())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if RAID0.String() != "RAID0" || RAID1.String() != "RAID1" || RAID5.String() != "RAID5" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() != "level(9)" {
+		t.Fatal("unknown level name wrong")
+	}
+}
+
+func TestCapacityByLevel(t *testing.T) {
+	per := testParams().Capacity
+	r0, _ := NewArrayLevel(4, 64<<10, RAID0, testParams())
+	r1, _ := NewArrayLevel(4, 64<<10, RAID1, testParams())
+	r5, _ := NewArrayLevel(4, 64<<10, RAID5, testParams())
+	if r0.Capacity() != 4*per {
+		t.Errorf("RAID0 capacity %d, want %d", r0.Capacity(), 4*per)
+	}
+	if r1.Capacity() != per {
+		t.Errorf("RAID1 capacity %d, want %d", r1.Capacity(), per)
+	}
+	if r5.Capacity() != 3*per {
+		t.Errorf("RAID5 capacity %d, want %d", r5.Capacity(), 3*per)
+	}
+}
+
+func TestRAID1WritesAllMirrors(t *testing.T) {
+	a, _ := NewArrayLevel(3, 64<<10, RAID1, testParams())
+	a.Access(raidNow, Request{Offset: 0, Length: 4096, Write: true})
+	s := a.TotalStats()
+	if s.Writes != 3 {
+		t.Fatalf("mirrored write touched %d members, want 3", s.Writes)
+	}
+	if s.BytesWritten != 3*4096 {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten)
+	}
+}
+
+func TestRAID1ReadsSingleMember(t *testing.T) {
+	a, _ := NewArrayLevel(3, 64<<10, RAID1, testParams())
+	a.Access(raidNow, Request{Offset: 0, Length: 4096})
+	if got := a.TotalStats().Reads; got != 1 {
+		t.Fatalf("mirrored read touched %d members, want 1", got)
+	}
+	// Reads at different stripes rotate across members.
+	a2, _ := NewArrayLevel(3, 64<<10, RAID1, testParams())
+	seen := map[int]bool{}
+	for s := int64(0); s < 3; s++ {
+		a2.Access(raidNow, Request{Offset: s * (64 << 10), Length: 4096})
+	}
+	for i := 0; i < a2.NumDisks(); i++ {
+		if a2.Disk(i).Stats().Reads > 0 {
+			seen[i] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("reads rotated over %d members, want 3", len(seen))
+	}
+}
+
+func TestRAID5SmallWritePenalty(t *testing.T) {
+	// The read-modify-write sequence makes a small RAID-5 write slower
+	// than the same write on RAID-0, and issues 4 member I/Os.
+	r0, _ := NewArrayLevel(4, 64<<10, RAID0, testParams())
+	r5, _ := NewArrayLevel(4, 64<<10, RAID5, testParams())
+	_, t0 := r0.Access(raidNow, Request{Offset: 0, Length: 4096, Write: true})
+	_, t5 := r5.Access(raidNow, Request{Offset: 0, Length: 4096, Write: true})
+	if t5 <= t0 {
+		t.Fatalf("RAID5 small write %v not slower than RAID0 %v", t5, t0)
+	}
+	if ops := r5.TotalStats().Ops(); ops != 4 {
+		t.Fatalf("RAID5 small write issued %d member I/Os, want 4", ops)
+	}
+}
+
+func TestRAID5ReadsAvoidParityPenalty(t *testing.T) {
+	r5, _ := NewArrayLevel(4, 64<<10, RAID5, testParams())
+	_, dur := r5.Access(raidNow, Request{Offset: 0, Length: 4096})
+	if ops := r5.TotalStats().Ops(); ops != 1 {
+		t.Fatalf("RAID5 read issued %d member I/Os, want 1", ops)
+	}
+	if dur <= 0 {
+		t.Fatal("read cost nothing")
+	}
+}
+
+func TestRAID5ParityRotates(t *testing.T) {
+	// Writes across consecutive stripe rows must not pin parity to one
+	// member: every member should receive some parity traffic.
+	a, _ := NewArrayLevel(3, 64<<10, RAID5, testParams())
+	dataDisks := int64(2)
+	for row := int64(0); row < 3; row++ {
+		off := row * dataDisks * (64 << 10) // first block of each row
+		a.Access(raidNow, Request{Offset: off, Length: 4096, Write: true})
+	}
+	busy := 0
+	for i := 0; i < a.NumDisks(); i++ {
+		if a.Disk(i).Stats().Ops() > 0 {
+			busy++
+		}
+	}
+	if busy != 3 {
+		t.Fatalf("parity rotation touched %d members, want 3", busy)
+	}
+}
+
+func TestRAID0DefaultUnchanged(t *testing.T) {
+	// Arrays built with NewArray keep the original striping behaviour.
+	a := MustNewArray(4, 64<<10, testParams())
+	if a.Level() != RAID0 {
+		t.Fatalf("default level = %v", a.Level())
+	}
+	done, elapsed := a.Access(raidNow, Request{Offset: 0, Length: 8 << 20})
+	if elapsed <= 0 || !done.After(raidNow) {
+		t.Fatal("striped access broken")
+	}
+}

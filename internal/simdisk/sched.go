@@ -1,0 +1,126 @@
+package simdisk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SchedPolicy selects the order a queued batch of requests is serviced
+// in. The paper's replays are synchronous (one request at a time), but
+// the disk-scaling experiments and the distributed benchmark generate
+// queues, where the classic schedulers differ; BenchmarkAblationScheduler
+// quantifies it.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// FCFS services requests in arrival order.
+	FCFS SchedPolicy = iota
+	// SSTF services the request with the shortest seek from the current
+	// head position first (greedy).
+	SSTF
+	// SCAN sweeps the head from its current position toward higher
+	// offsets, then back — the elevator algorithm.
+	SCAN
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case SSTF:
+		return "SSTF"
+	case SCAN:
+		return "SCAN"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// BatchResult reports one request's outcome within a scheduled batch.
+type BatchResult struct {
+	// Index is the request's position in the submitted batch.
+	Index int
+	// Done is the completion time.
+	Done time.Time
+	// Service is the request's service duration.
+	Service time.Duration
+}
+
+// ServeBatch services a queue of simultaneously pending requests in the
+// order chosen by policy, starting no earlier than now. It returns
+// per-request results in submission order plus the batch completion time.
+func (d *Disk) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]BatchResult, time.Time) {
+	if len(reqs) == 0 {
+		return nil, now
+	}
+	order := d.scheduleOrder(reqs, policy)
+	results := make([]BatchResult, len(reqs))
+	end := now
+	for _, idx := range order {
+		done, svc := d.Access(now, reqs[idx])
+		results[idx] = BatchResult{Index: idx, Done: done, Service: svc}
+		if done.After(end) {
+			end = done
+		}
+	}
+	return results, end
+}
+
+// scheduleOrder computes the service order for reqs under policy, given
+// the disk's current head position.
+func (d *Disk) scheduleOrder(reqs []Request, policy SchedPolicy) []int {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	switch policy {
+	case FCFS:
+		// Arrival order as given.
+	case SSTF:
+		d.mu.Lock()
+		head := d.headPos
+		d.mu.Unlock()
+		// Greedy nearest-first simulation of head movement.
+		remaining := append([]int(nil), order...)
+		order = order[:0]
+		for len(remaining) > 0 {
+			best := 0
+			bestDist := absInt64(reqs[remaining[0]].Offset - head)
+			for i := 1; i < len(remaining); i++ {
+				if dist := absInt64(reqs[remaining[i]].Offset - head); dist < bestDist {
+					best, bestDist = i, dist
+				}
+			}
+			idx := remaining[best]
+			order = append(order, idx)
+			head = reqs[idx].Offset + reqs[idx].Length
+			remaining = append(remaining[:best], remaining[best+1:]...)
+		}
+	case SCAN:
+		d.mu.Lock()
+		head := d.headPos
+		d.mu.Unlock()
+		var up, down []int
+		for _, idx := range order {
+			if reqs[idx].Offset >= head {
+				up = append(up, idx)
+			} else {
+				down = append(down, idx)
+			}
+		}
+		sort.Slice(up, func(i, j int) bool { return reqs[up[i]].Offset < reqs[up[j]].Offset })
+		sort.Slice(down, func(i, j int) bool { return reqs[down[i]].Offset > reqs[down[j]].Offset })
+		order = append(up, down...)
+	}
+	return order
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchTrace(n int) *Trace {
+	tr := &Trace{Header: Header{NumProcesses: 4, NumFiles: 1, SampleFile: "bench.dat"}}
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, Record{
+			Op: Op(i % 5), Count: 1, PID: uint32(i % 4),
+			WallClock: int64(i) * 1000, Offset: int64(i) * 4096, Length: 64 << 10,
+		})
+	}
+	tr.Header.NumRecords = uint32(n)
+	return tr
+}
+
+func BenchmarkWrite1kRecords(b *testing.B) {
+	tr := benchTrace(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead1kRecords(b *testing.B) {
+	tr := benchTrace(1000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(encoded)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	tr := benchTrace(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStats(tr)
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDumpParseRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Dump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.SampleFile != tr.Header.SampleFile ||
+		got.Header.NumProcesses != tr.Header.NumProcesses ||
+		got.Header.NumFiles != tr.Header.NumFiles {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records = %+v, want %+v", got.Records, tr.Records)
+	}
+}
+
+func TestDumpHumanReadable(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Dump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# sample=sample.dat", "open", "read", "close", "len=131072"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseDumpRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"unknown op", "# sample=s processes=1 files=1\nfrobnicate count=1\n"},
+		{"bad count", "# sample=s processes=1 files=1\nread count=banana\n"},
+		{"malformed field", "# sample=s processes=1 files=1\nread countless\n"},
+		{"unknown key", "# sample=s processes=1 files=1\nread zorp=1\n"},
+		{"bad header", "# sample=s processes=many\n"},
+		{"unknown header key", "# zample=s\n"},
+		{"no header", "read count=1 off=0 len=4\n"}, // no sample name -> invalid
+	}
+	for _, tc := range cases {
+		if _, err := ParseDump(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: parsed successfully", tc.name)
+		}
+	}
+}
+
+func TestParseDumpSkipsBlankLines(t *testing.T) {
+	text := "# sample=s processes=1 files=1\n\nopen count=1\n\nclose count=1\n"
+	tr, err := ParseDump(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("got %d records", len(tr.Records))
+	}
+}
+
+func TestParseDumpDefaultsCount(t *testing.T) {
+	text := "# sample=s processes=1 files=1\nseek off=4096\n"
+	tr, err := ParseDump(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records[0].Count != 1 {
+		t.Fatalf("default count = %d, want 1", tr.Records[0].Count)
+	}
+	if tr.Records[0].Offset != 4096 {
+		t.Fatalf("offset = %d", tr.Records[0].Offset)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the binary decoder: arbitrary input must either parse
+// into a trace that validates and round-trips, or fail cleanly — never
+// panic or hang.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	tr := &Trace{
+		Header: Header{NumProcesses: 2, NumFiles: 1, NumRecords: 2, SampleFile: "seed.dat"},
+		Records: []Record{
+			{Op: OpOpen, Count: 1},
+			{Op: OpRead, Count: 3, Offset: 4096, Length: 64 << 10},
+		},
+	}
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("UMDT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // clean failure
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Read returned invalid trace: %v", err)
+		}
+		// Round-trip stability: re-encode, re-decode, compare.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Records) != len(got.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(got.Records), len(again.Records))
+		}
+	})
+}
+
+// FuzzParseDump does the same for the text decoder.
+func FuzzParseDump(f *testing.F) {
+	f.Add("# sample=s processes=1 files=1\nopen count=1\nread count=2 off=0 len=4096\nclose count=1\n")
+	f.Add("# sample=s\n")
+	f.Add("read\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		got, err := ParseDump(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("ParseDump returned invalid trace: %v", err)
+		}
+	})
+}

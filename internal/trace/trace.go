@@ -1,0 +1,274 @@
+// Package trace implements the I/O trace file format of the paper's
+// second benchmark (§3.2). A trace file has a header carrying the number
+// of processes, number of files, number of records, the offset to the
+// trace records and the name of the sample file the operations are issued
+// against; each fixed-size record describes one I/O operation
+// (Open=0, Close=1, Read=2, Write=3, Seek=4) with a repeat count, process
+// id, field, wall-clock and process-clock stamps, offset and length.
+//
+// The University of Maryland traces the paper used (CS-TR-3802) are not
+// publicly archived, so this package defines a binary encoding of the
+// documented layout and the tracegen package synthesizes trace contents
+// matching the request sizes printed in the paper's Tables 1-4.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is an I/O operation code, numbered exactly as in §3.2.
+type Op uint8
+
+// Operation codes from the paper.
+const (
+	OpOpen  Op = 0
+	OpClose Op = 1
+	OpRead  Op = 2
+	OpWrite Op = 3
+	OpSeek  Op = 4
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSeek:
+		return "seek"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether the code is one of the five defined operations.
+func (o Op) Valid() bool { return o <= OpSeek }
+
+// Header is the trace file header (§3.2).
+type Header struct {
+	// NumProcesses is the process count of the traced application.
+	NumProcesses uint32
+	// NumFiles is the number of files the application touched.
+	NumFiles uint32
+	// NumRecords is the record count that follows.
+	NumRecords uint32
+	// RecordOffset is the byte offset of the first record in the file.
+	RecordOffset uint32
+	// SampleFile names the file the replayer issues the operations on.
+	SampleFile string
+}
+
+// Record is one trace record (§3.2).
+type Record struct {
+	// Op is the operation to perform.
+	Op Op
+	// Count is the number of records (repetitions) for this operation.
+	Count uint32
+	// PID is the issuing process id.
+	PID uint32
+	// Field is the application-specific field tag.
+	Field uint32
+	// WallClock is the original capture wall-clock stamp, nanoseconds.
+	WallClock int64
+	// ProcClock is the original capture process-clock stamp, nanoseconds.
+	ProcClock int64
+	// Offset is the file offset the operation applies to.
+	Offset int64
+	// Length is the byte count for reads and writes.
+	Length int64
+}
+
+// Trace is a parsed trace: header plus records.
+type Trace struct {
+	Header  Header
+	Records []Record
+}
+
+// Validate reports the first structural problem, or nil.
+func (t *Trace) Validate() error {
+	if t.Header.SampleFile == "" {
+		return errors.New("trace: empty sample file name")
+	}
+	if int(t.Header.NumRecords) != len(t.Records) {
+		return fmt.Errorf("trace: header says %d records, got %d", t.Header.NumRecords, len(t.Records))
+	}
+	if t.Header.NumProcesses == 0 {
+		return errors.New("trace: zero processes")
+	}
+	for i, r := range t.Records {
+		if !r.Op.Valid() {
+			return fmt.Errorf("trace: record %d has invalid op %d", i, r.Op)
+		}
+		if r.Offset < 0 {
+			return fmt.Errorf("trace: record %d has negative offset %d", i, r.Offset)
+		}
+		if r.Length < 0 {
+			return fmt.Errorf("trace: record %d has negative length %d", i, r.Length)
+		}
+		if r.Count == 0 {
+			return fmt.Errorf("trace: record %d has zero count", i)
+		}
+	}
+	return nil
+}
+
+// Binary layout constants.
+const (
+	magic      = "UMDT" // University-of-Maryland-style Trace
+	version    = uint32(1)
+	recordSize = 1 + 3 + 4 + 4 + 4 + 8 + 8 + 8 + 8 // op + pad + count + pid + field + clocks + offset + length
+)
+
+var errBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// Write encodes the trace to w. The header's NumRecords and RecordOffset
+// are computed, not trusted.
+func Write(w io.Writer, t *Trace) error {
+	name := []byte(t.Header.SampleFile)
+	if len(name) > 0xFFFF {
+		return fmt.Errorf("trace: sample file name too long (%d bytes)", len(name))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	// Fixed-size header prefix.
+	headerFixed := 4 + 4 + 4 + 4 + 4 + 4 + 2 // magic + version + nproc + nfiles + nrec + recoff + namelen
+	recOff := uint32(headerFixed + len(name))
+	for _, v := range []uint32{version, t.Header.NumProcesses, t.Header.NumFiles, uint32(len(t.Records)), recOff} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	for i := range t.Records {
+		if err := writeRecord(bw, &t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, r *Record) error {
+	var buf [recordSize]byte
+	buf[0] = byte(r.Op)
+	// buf[1:4] is padding for alignment.
+	binary.LittleEndian.PutUint32(buf[4:], r.Count)
+	binary.LittleEndian.PutUint32(buf[8:], r.PID)
+	binary.LittleEndian.PutUint32(buf[12:], r.Field)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.WallClock))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(r.ProcClock))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(r.Offset))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(r.Length))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Read decodes a trace from r and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, errBadMagic
+	}
+	var ver, nproc, nfiles, nrec, recOff uint32
+	for _, p := range []*uint32{&ver, &nproc, &nfiles, &nrec, &recOff} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading sample file name: %w", err)
+	}
+	t := &Trace{Header: Header{
+		NumProcesses: nproc,
+		NumFiles:     nfiles,
+		NumRecords:   nrec,
+		RecordOffset: recOff,
+		SampleFile:   string(name),
+	}}
+	// The header's record count is untrusted input: cap the preallocation
+	// so a corrupt count cannot exhaust memory; append grows as records
+	// actually decode (truncated input fails on the first short read).
+	capHint := nrec
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t.Records = make([]Record, 0, capHint)
+	for i := uint32(0); i < nrec; i++ {
+		rec, err := readRecord(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func readRecord(r io.Reader) (Record, error) {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Record{}, err
+	}
+	return Record{
+		Op:        Op(buf[0]),
+		Count:     binary.LittleEndian.Uint32(buf[4:]),
+		PID:       binary.LittleEndian.Uint32(buf[8:]),
+		Field:     binary.LittleEndian.Uint32(buf[12:]),
+		WallClock: int64(binary.LittleEndian.Uint64(buf[16:])),
+		ProcClock: int64(binary.LittleEndian.Uint64(buf[24:])),
+		Offset:    int64(binary.LittleEndian.Uint64(buf[32:])),
+		Length:    int64(binary.LittleEndian.Uint64(buf[40:])),
+	}, nil
+}
+
+// Stats summarizes a trace's operation mix.
+type Stats struct {
+	Ops       map[Op]int64
+	BytesRead int64
+	BytesWrit int64
+}
+
+// ComputeStats tallies the trace's operations, expanding repeat counts.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Ops: make(map[Op]int64)}
+	for _, r := range t.Records {
+		n := int64(r.Count)
+		s.Ops[r.Op] += n
+		switch r.Op {
+		case OpRead:
+			s.BytesRead += n * r.Length
+		case OpWrite:
+			s.BytesWrit += n * r.Length
+		}
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{
+			NumProcesses: 4,
+			NumFiles:     2,
+			NumRecords:   3,
+			SampleFile:   "sample.dat",
+		},
+		Records: []Record{
+			{Op: OpOpen, Count: 1, PID: 0},
+			{Op: OpRead, Count: 5, PID: 1, Field: 7, WallClock: 1000, ProcClock: 900, Offset: 4096, Length: 131072},
+			{Op: OpClose, Count: 1, PID: 0},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.SampleFile != "sample.dat" || got.Header.NumProcesses != 4 || got.Header.NumFiles != 2 {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if got.Header.RecordOffset == 0 {
+		t.Fatal("record offset not computed")
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records = %+v, want %+v", got.Records, tr.Records)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(recs []struct {
+		Op     uint8
+		Count  uint32
+		PID    uint32
+		Field  uint32
+		Wall   int64
+		Proc   int64
+		Offset int64
+		Length int64
+	}) bool {
+		tr := &Trace{Header: Header{NumProcesses: 1, NumFiles: 1, SampleFile: "s"}}
+		for _, r := range recs {
+			off, l := r.Offset, r.Length
+			if off < 0 {
+				off = -off
+			}
+			if l < 0 {
+				l = -l
+			}
+			tr.Records = append(tr.Records, Record{
+				Op:    Op(r.Op % 5),
+				Count: r.Count%1000 + 1,
+				PID:   r.PID, Field: r.Field,
+				WallClock: r.Wall, ProcClock: r.Proc,
+				Offset: off, Length: l,
+			})
+		}
+		tr.Header.NumRecords = uint32(len(tr.Records))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOPExxxxxxxxxxxxxxxxxxxx"))
+	if !errors.Is(err, errBadMagic) {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{2, 10, len(full) - 5} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"empty sample", func(tr *Trace) { tr.Header.SampleFile = "" }},
+		{"record count mismatch", func(tr *Trace) { tr.Header.NumRecords = 99 }},
+		{"zero processes", func(tr *Trace) { tr.Header.NumProcesses = 0 }},
+		{"invalid op", func(tr *Trace) { tr.Records[0].Op = 9 }},
+		{"negative offset", func(tr *Trace) { tr.Records[1].Offset = -1 }},
+		{"negative length", func(tr *Trace) { tr.Records[1].Length = -1 }},
+		{"zero count", func(tr *Trace) { tr.Records[0].Count = 0 }},
+	}
+	for _, tc := range cases {
+		tr := sampleTrace()
+		tc.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpOpen: "open", OpClose: "close", OpRead: "read", OpWrite: "write", OpSeek: "seek", Op(9): "op(9)"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(5).Valid() {
+		t.Error("Op(5) reported valid")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := sampleTrace()
+	tr.Records = append(tr.Records, Record{Op: OpWrite, Count: 2, Length: 100})
+	s := ComputeStats(tr)
+	if s.Ops[OpRead] != 5 {
+		t.Fatalf("reads = %d, want 5 (count expansion)", s.Ops[OpRead])
+	}
+	if s.BytesRead != 5*131072 {
+		t.Fatalf("BytesRead = %d", s.BytesRead)
+	}
+	if s.BytesWrit != 200 {
+		t.Fatalf("BytesWrit = %d", s.BytesWrit)
+	}
+}
+
+func TestWriteLongNameRejected(t *testing.T) {
+	tr := sampleTrace()
+	tr.Header.SampleFile = strings.Repeat("x", 70000)
+	if err := Write(&bytes.Buffer{}, tr); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}

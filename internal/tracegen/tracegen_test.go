@@ -1,0 +1,266 @@
+package tracegen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{SampleFile: "", FileSize: 100},
+		{SampleFile: "f", FileSize: 0},
+		{SampleFile: "f", FileSize: 100, Requests: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestAllGeneratorsValidate(t *testing.T) {
+	traces, err := All(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("got %d traces, want 5", len(traces))
+	}
+	for name, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tr.Header.SampleFile != DefaultParams().SampleFile {
+			t.Errorf("%s: sample file %q", name, tr.Header.SampleFile)
+		}
+		// Every trace opens before any read/write/seek, and closes last.
+		if tr.Records[0].Op != trace.OpOpen {
+			t.Errorf("%s: first op is %v, want open", name, tr.Records[0].Op)
+		}
+		if tr.Records[len(tr.Records)-1].Op != trace.OpClose {
+			t.Errorf("%s: last op is %v, want close", name, tr.Records[len(tr.Records)-1].Op)
+		}
+	}
+}
+
+func TestOffsetsInBounds(t *testing.T) {
+	p := DefaultParams()
+	traces, err := All(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range traces {
+		for i, r := range tr.Records {
+			if r.Offset < 0 || r.Offset+r.Length > p.FileSize {
+				t.Errorf("%s record %d: [%d, %d) outside file of %d bytes",
+					name, i, r.Offset, r.Offset+r.Length, p.FileSize)
+			}
+		}
+	}
+}
+
+func TestDmineReadSize(t *testing.T) {
+	tr, err := Dmine(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, r := range tr.Records {
+		if r.Op == trace.OpRead {
+			reads++
+			if r.Length != 131072 {
+				t.Fatalf("Dmine read length %d, want 131072 (Table 1)", r.Length)
+			}
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no reads generated")
+	}
+}
+
+func TestTitanAverageSize(t *testing.T) {
+	tr, err := Titan(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, n int64
+	for _, r := range tr.Records {
+		if r.Op == trace.OpRead {
+			total += r.Length
+			n++
+		}
+	}
+	avg := total / n
+	if avg < 180000 || avg > 195000 {
+		t.Fatalf("Titan average read size %d, want ≈187681 (Table 2)", avg)
+	}
+}
+
+func TestLUSeekTargets(t *testing.T) {
+	tr, err := LU(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seeks []int64
+	writes := 0
+	for _, r := range tr.Records {
+		switch r.Op {
+		case trace.OpSeek:
+			seeks = append(seeks, r.Offset)
+		case trace.OpWrite:
+			writes++
+		}
+	}
+	if len(seeks) != len(LURequestSizes) {
+		t.Fatalf("LU has %d seeks, want %d", len(seeks), len(LURequestSizes))
+	}
+	for i, want := range LURequestSizes {
+		if seeks[i] != want {
+			t.Fatalf("LU seek %d targets %d, want %d (Table 3)", i, seeks[i], want)
+		}
+	}
+	if writes != len(LURequestSizes) {
+		t.Fatalf("LU has %d writes, want %d", writes, len(LURequestSizes))
+	}
+}
+
+func TestCholeskyReadSizes(t *testing.T) {
+	tr, err := Cholesky(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	for _, r := range tr.Records {
+		if r.Op == trace.OpRead {
+			sizes = append(sizes, r.Length)
+		}
+	}
+	if len(sizes) != len(CholeskyRequestSizes) {
+		t.Fatalf("Cholesky has %d reads, want %d", len(sizes), len(CholeskyRequestSizes))
+	}
+	for i, want := range CholeskyRequestSizes {
+		if sizes[i] != want {
+			t.Fatalf("Cholesky read %d size %d, want %d (Table 4)", i, sizes[i], want)
+		}
+	}
+}
+
+func TestPgrepMultiProcess(t *testing.T) {
+	tr, err := Pgrep(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.NumProcesses != 4 {
+		t.Fatalf("Pgrep processes = %d, want 4", tr.Header.NumProcesses)
+	}
+	pids := map[uint32]bool{}
+	for _, r := range tr.Records {
+		if r.Op == trace.OpRead {
+			pids[r.PID] = true
+		}
+	}
+	if len(pids) != 4 {
+		t.Fatalf("Pgrep reads from %d pids, want 4", len(pids))
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, name := range AppNames {
+		if _, err := Generate(name, DefaultParams()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Generate("NotAnApp", DefaultParams()); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range AppNames {
+		a, _ := Generate(name, DefaultParams())
+		b, _ := Generate(name, DefaultParams())
+		var bufA, bufB bytes.Buffer
+		if err := trace.Write(&bufA, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Write(&bufB, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Errorf("%s: generator not deterministic", name)
+		}
+	}
+}
+
+func TestRequestsScaling(t *testing.T) {
+	p := DefaultParams()
+	p.Requests = 40
+	tr, err := Dmine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(tr)
+	if s.Ops[trace.OpRead] > 50 {
+		t.Fatalf("Requests=40 produced %d reads", s.Ops[trace.OpRead])
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	p := DefaultParams()
+	tr, err := Mixed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.NumProcesses != 5 {
+		t.Fatalf("Mixed processes = %d, want 5", tr.Header.NumProcesses)
+	}
+	// One shared open/close pair.
+	s := trace.ComputeStats(tr)
+	if s.Ops[trace.OpOpen] != 1 || s.Ops[trace.OpClose] != 1 {
+		t.Fatalf("open/close = %d/%d", s.Ops[trace.OpOpen], s.Ops[trace.OpClose])
+	}
+	// All five applications' data ops are present, tagged by PID.
+	pids := map[uint32]int{}
+	for _, r := range tr.Records {
+		if r.Op == trace.OpRead || r.Op == trace.OpWrite || r.Op == trace.OpSeek {
+			pids[r.PID]++
+		}
+	}
+	if len(pids) != 5 {
+		t.Fatalf("mixed trace has %d pids, want 5", len(pids))
+	}
+	// Record count conservation: merged data ops = sum of per-app data ops.
+	total := 0
+	for _, name := range AppNames {
+		app, err := Generate(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range app.Records {
+			if r.Op != trace.OpOpen && r.Op != trace.OpClose {
+				total++
+			}
+		}
+	}
+	if got := len(tr.Records) - 2; got != total {
+		t.Fatalf("mixed has %d data records, want %d", got, total)
+	}
+}
+
+func TestMixedReplayable(t *testing.T) {
+	p := DefaultParams()
+	p.FileSize = 64 << 20
+	p.Requests = 40
+	tr, err := Mixed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package tracesim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/tracegen"
+)
+
+// TestReplaySurfacesInjectedFaults verifies the replay engine propagates
+// storage errors with context instead of panicking or silently dropping
+// operations.
+func TestReplaySurfacesInjectedFaults(t *testing.T) {
+	p := testParams()
+	tr, err := tracegen.Dmine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := fsim.MustNewFileStore(fsim.DefaultConfig())
+	faulty := fsim.NewFaultStore(inner, 10)
+	rp := NewReplayer(faulty)
+	rp.SampleFileSize = p.FileSize
+	_, err = rp.Replay("Dmine", tr)
+	if !errors.Is(err, fsim.ErrInjected) {
+		t.Fatalf("replay err = %v, want injected fault", err)
+	}
+	if faulty.Injected() == 0 {
+		t.Fatal("no fault fired")
+	}
+}
+
+// TestReplayConcurrentSurfacesInjectedFaults does the same for the
+// multi-process replay path.
+func TestReplayConcurrentSurfacesInjectedFaults(t *testing.T) {
+	p := testParams()
+	tr, err := tracegen.Pgrep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := fsim.MustNewFileStore(fsim.DefaultConfig())
+	faulty := fsim.NewFaultStore(inner, 25)
+	rp := NewReplayer(faulty)
+	rp.SampleFileSize = p.FileSize
+	if _, err := rp.ReplayConcurrent("Pgrep", tr); !errors.Is(err, fsim.ErrInjected) {
+		t.Fatalf("concurrent replay err = %v, want injected fault", err)
+	}
+}
+
+// TestReplayCleanWithInjectorDisabled pins the zero-schedule baseline.
+func TestReplayCleanWithInjectorDisabled(t *testing.T) {
+	p := testParams()
+	tr, err := tracegen.Titan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := fsim.MustNewFileStore(fsim.DefaultConfig())
+	faulty := fsim.NewFaultStore(inner, 0)
+	rp := NewReplayer(faulty)
+	rp.SampleFileSize = p.FileSize
+	if _, err := rp.Replay("Titan", tr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package tracesim is the paper's second benchmark: a trace-driven I/O
+// simulator (§3). It replays trace files — open/close/read/write/seek
+// records against a large sample file — timing every operation, and
+// produces the per-application reports of Tables 1-4.
+package tracesim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// sizedCreator is the optional store capability for provisioning large
+// sparse files; *fsim.FileStore implements it.
+type sizedCreator interface {
+	CreateSized(name string, size int64) (time.Duration, error)
+}
+
+// RequestTiming is one timed data request, a row of Tables 3-4. For seek
+// records the paper's "data size" column is the seek target offset; for
+// reads and writes it is the transfer length.
+type RequestTiming struct {
+	Index   int
+	Op      trace.Op
+	Size    int64
+	SeekMS  float64
+	ReadMS  float64
+	WriteMS float64
+}
+
+// Report is a replay's measured result.
+type Report struct {
+	App string
+	// Per-operation latency summaries in milliseconds.
+	Open, Close, Read, Write, Seek metrics.Summary
+	// Requests lists each data request in trace order.
+	Requests []RequestTiming
+	// Elapsed is the total replay duration on the store's clock,
+	// including think time when the replay is paced.
+	Elapsed time.Duration
+	// ThinkTime is the total inter-record wall-clock gap charged by a
+	// paced replay (zero otherwise).
+	ThinkTime time.Duration
+}
+
+// Table renders the report in the generic layout (a row per operation
+// kind with average latencies). The TableN functions in experiments.go
+// render the paper's exact per-table layouts.
+func (r *Report) Table() *metrics.Table {
+	tb := metrics.NewTable(
+		fmt.Sprintf("Results for the %s application", r.App),
+		"Operation", "Count", "Avg time (ms)", "Min (ms)", "Max (ms)")
+	add := func(name string, s *metrics.Summary) {
+		if s.N() == 0 {
+			return
+		}
+		tb.AddRow(name, s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	add("open", &r.Open)
+	add("close", &r.Close)
+	add("read", &r.Read)
+	add("write", &r.Write)
+	add("seek", &r.Seek)
+	return tb
+}
+
+// Replayer executes traces against a Store.
+type Replayer struct {
+	store fsim.Store
+	// SampleFileSize is used to provision the sample file when the trace
+	// names one that does not exist yet. Defaults to 1 GB.
+	SampleFileSize int64
+	// Paced honours the trace's wall-clock stamps: the gap between
+	// consecutive records is charged as think time (recorded in the
+	// report's ThinkTime and included in Elapsed). Unpaced replay (the
+	// default, and the paper's method) issues records back to back.
+	Paced bool
+}
+
+// NewReplayer builds a replayer over store.
+func NewReplayer(store fsim.Store) *Replayer {
+	return &Replayer{store: store, SampleFileSize: 1 << 30}
+}
+
+// errNotOpen is returned when a trace issues data operations before open.
+var errNotOpen = errors.New("tracesim: operation before open")
+
+// Prepare provisions the trace's sample file if missing: sparse on stores
+// that support it, zero-filled otherwise.
+func (rp *Replayer) Prepare(tr *trace.Trace) error {
+	name := tr.Header.SampleFile
+	if rp.store.Exists(name) {
+		return nil
+	}
+	if sc, ok := rp.store.(sizedCreator); ok {
+		_, err := sc.CreateSized(name, rp.SampleFileSize)
+		return err
+	}
+	_, err := rp.store.Create(name, make([]byte, rp.SampleFileSize))
+	return err
+}
+
+// Replay validates and executes the trace, returning the timing report.
+// appName labels the report (e.g. "Data Mining").
+func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rp.Prepare(tr); err != nil {
+		return nil, fmt.Errorf("tracesim: preparing sample file: %w", err)
+	}
+	rep := &Report{App: appName}
+	var f fsim.File
+	var buf []byte
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var elapsed time.Duration
+	var prevWall int64
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rp.Paced && i > 0 && rec.WallClock > prevWall {
+			think := time.Duration(rec.WallClock - prevWall)
+			rep.ThinkTime += think
+			elapsed += think
+		}
+		prevWall = rec.WallClock
+		for c := uint32(0); c < rec.Count; c++ {
+			d, err := rp.step(rep, &f, &buf, rec, tr.Header.SampleFile)
+			if err != nil {
+				return nil, fmt.Errorf("tracesim: record %d (%s): %w", i, rec.Op, err)
+			}
+			elapsed += d
+		}
+	}
+	rep.Elapsed = elapsed
+	return rep, nil
+}
+
+// step executes one expanded trace record.
+func (rp *Replayer) step(rep *Report, f *fsim.File, buf *[]byte, rec *trace.Record, sample string) (time.Duration, error) {
+	switch rec.Op {
+	case trace.OpOpen:
+		if *f != nil {
+			(*f).Close()
+		}
+		file, dur, err := rp.store.Open(sample)
+		if err != nil {
+			return 0, err
+		}
+		*f = file
+		rep.Open.AddDuration(dur)
+		return dur, nil
+
+	case trace.OpClose:
+		if *f == nil {
+			return 0, errNotOpen
+		}
+		dur, err := (*f).Close()
+		*f = nil
+		if err != nil {
+			return 0, err
+		}
+		rep.Close.AddDuration(dur)
+		return dur, nil
+
+	case trace.OpSeek:
+		if *f == nil {
+			return 0, errNotOpen
+		}
+		// §3.3: "Seek operations are performed from the beginning of the
+		// file to the offset as mentioned in the trace files."
+		_, d0, err := (*f).SeekTo(0, io.SeekStart)
+		if err != nil {
+			return 0, err
+		}
+		_, d1, err := (*f).SeekTo(rec.Offset, io.SeekStart)
+		if err != nil {
+			return 0, err
+		}
+		dur := d0 + d1
+		rep.Seek.AddDuration(dur)
+		rep.Requests = append(rep.Requests, RequestTiming{
+			Index: len(rep.Requests) + 1, Op: trace.OpSeek,
+			Size: rec.Offset, SeekMS: ms(dur),
+		})
+		return dur, nil
+
+	case trace.OpRead:
+		if *f == nil {
+			return 0, errNotOpen
+		}
+		_, seekDur, err := (*f).SeekTo(rec.Offset, io.SeekStart)
+		if err != nil {
+			return 0, err
+		}
+		*buf = grow(*buf, int(rec.Length))
+		_, readDur, err := (*f).Read((*buf)[:rec.Length])
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		rep.Read.AddDuration(readDur)
+		rep.Requests = append(rep.Requests, RequestTiming{
+			Index: len(rep.Requests) + 1, Op: trace.OpRead,
+			Size: rec.Length, SeekMS: ms(seekDur), ReadMS: ms(readDur),
+		})
+		return seekDur + readDur, nil
+
+	case trace.OpWrite:
+		if *f == nil {
+			return 0, errNotOpen
+		}
+		_, seekDur, err := (*f).SeekTo(rec.Offset, io.SeekStart)
+		if err != nil {
+			return 0, err
+		}
+		*buf = grow(*buf, int(rec.Length))
+		_, writeDur, err := (*f).Write((*buf)[:rec.Length])
+		if err != nil {
+			return 0, err
+		}
+		rep.Write.AddDuration(writeDur)
+		rep.Requests = append(rep.Requests, RequestTiming{
+			Index: len(rep.Requests) + 1, Op: trace.OpWrite,
+			Size: rec.Length, SeekMS: ms(seekDur), WriteMS: ms(writeDur),
+		})
+		return seekDur + writeDur, nil
+	}
+	return 0, fmt.Errorf("unhandled op %d", rec.Op)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// grow returns a buffer of at least n bytes, reusing b when possible.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,36 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func BenchmarkInvokeWarm(b *testing.B) {
+	rt := MustNew(DefaultConfig(), clock.NewVirtualClock(time.Unix(0, 0)))
+	rt.Register("M", 100)
+	rt.Invoke("M") // jit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Invoke("M")
+	}
+}
+
+func BenchmarkInvokeColdJIT(b *testing.B) {
+	rt := MustNew(DefaultConfig(), clock.NewVirtualClock(time.Unix(0, 0)))
+	rt.Register("M", 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.ResetJIT()
+		rt.Invoke("M")
+	}
+}
+
+func BenchmarkAllocate(b *testing.B) {
+	rt := MustNew(DefaultConfig(), clock.NewVirtualClock(time.Unix(0, 0)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Allocate(1024)
+	}
+}

@@ -1,0 +1,125 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is a named managed-runtime cost calibration. The paper's future
+// work proposes evaluating the benchmarks "on other virtual machines like
+// java virtual machine" and comparing "different CLI-based virtual
+// machines"; profiles make those comparisons a one-liner: run the same
+// benchmark against each profile's Runtime.
+//
+// The calibrations encode the runtimes' qualitative differences of the
+// paper's era, as relative weights rather than claims about absolute
+// hardware numbers:
+//
+//   - SSCLI (Rotor): a non-optimizing reference JIT — heavy per-method
+//     compile cost, slow managed dispatch, simple GC.
+//   - Commercial CLR: an optimizing JIT — noticeably cheaper compiles and
+//     dispatch than Rotor.
+//   - JVM (HotSpot-style): starts methods in an interpreter, so the
+//     first-call penalty is small, but early calls run slower until the
+//     hot path compiles; modelled as a low base compile cost with a
+//     higher dispatch overhead.
+//   - Native AOT: everything precompiled; no first-call effect at all —
+//     the baseline that isolates the managed-runtime contribution.
+type Profile struct {
+	Name        string
+	Description string
+	Config      Config
+}
+
+// ProfileSSCLI returns the Shared Source CLI (Rotor) calibration — the
+// runtime the paper measured.
+func ProfileSSCLI() Profile {
+	return Profile{
+		Name:        "SSCLI",
+		Description: "Shared Source CLI (Rotor): non-optimizing JIT, slow dispatch",
+		Config: Config{
+			JITEnabled:       true,
+			JITBaseCost:      time.Millisecond,
+			JITCostPerILByte: 2 * time.Microsecond,
+			CallOverhead:     200 * time.Nanosecond,
+			GCEnabled:        true,
+			GCTriggerBytes:   4 << 20,
+			GCPause:          500 * time.Microsecond,
+		},
+	}
+}
+
+// ProfileCLR returns a commercial-CLR-grade calibration.
+func ProfileCLR() Profile {
+	return Profile{
+		Name:        "CLR",
+		Description: "commercial CLR: optimizing JIT, fast dispatch",
+		Config: Config{
+			JITEnabled:       true,
+			JITBaseCost:      300 * time.Microsecond,
+			JITCostPerILByte: 600 * time.Nanosecond,
+			CallOverhead:     60 * time.Nanosecond,
+			GCEnabled:        true,
+			GCTriggerBytes:   16 << 20,
+			GCPause:          300 * time.Microsecond,
+		},
+	}
+}
+
+// ProfileJVM returns a HotSpot-style calibration: interpret first (cheap
+// first call), pay per-call overhead until compilation would kick in.
+func ProfileJVM() Profile {
+	return Profile{
+		Name:        "JVM",
+		Description: "HotSpot-style JVM: interpreted first call, tiered compilation",
+		Config: Config{
+			JITEnabled:       true,
+			JITBaseCost:      80 * time.Microsecond,
+			JITCostPerILByte: 150 * time.Nanosecond,
+			CallOverhead:     120 * time.Nanosecond,
+			GCEnabled:        true,
+			GCTriggerBytes:   8 << 20,
+			GCPause:          400 * time.Microsecond,
+		},
+	}
+}
+
+// ProfileNative returns the ahead-of-time baseline: no JIT, no GC pauses,
+// negligible dispatch.
+func ProfileNative() Profile {
+	return Profile{
+		Name:        "Native",
+		Description: "AOT-compiled baseline: no JIT, no GC pauses",
+		Config: Config{
+			JITEnabled:   false,
+			CallOverhead: 20 * time.Nanosecond,
+			GCEnabled:    false,
+		},
+	}
+}
+
+// Profiles returns the built-in profiles in comparison order.
+func Profiles() []Profile {
+	return []Profile{ProfileSSCLI(), ProfileCLR(), ProfileJVM(), ProfileNative()}
+}
+
+// ProfileByName finds a built-in profile (case-sensitive).
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("vm: unknown profile %q", name)
+}
+
+// NewRuntime builds a Runtime for the profile with the BCL registered,
+// ready for benchmarking.
+func (p Profile) NewRuntime() (*Runtime, error) {
+	rt, err := New(p.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+	rt.RegisterBCL()
+	return rt, nil
+}

@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"testing"
+)
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("got %d profiles, want 4", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", p.Name, err)
+		}
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("profile missing name/description: %+v", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("JVM")
+	if err != nil || p.Name != "JVM" {
+		t.Fatalf("ProfileByName(JVM) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("BEAM"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestProfileNewRuntimeRegistersBCL(t *testing.T) {
+	rt, err := ProfileSSCLI().NewRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Method(MethodFileStreamCtor) == nil {
+		t.Fatal("BCL not registered")
+	}
+}
+
+func TestProfileFirstCallOrdering(t *testing.T) {
+	// First-call penalty ordering encodes the runtimes' character:
+	// SSCLI ≫ CLR > JVM > Native.
+	costs := map[string]int64{}
+	for _, p := range Profiles() {
+		rt, err := p.NewRuntime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[p.Name] = int64(rt.Invoke(MethodFileStreamCtor))
+	}
+	if !(costs["SSCLI"] > costs["CLR"] && costs["CLR"] > costs["JVM"] && costs["JVM"] > costs["Native"]) {
+		t.Fatalf("first-call ordering wrong: %v", costs)
+	}
+	// The SSCLI-to-native gap must be large: the paper's whole Table 6
+	// effect rides on it.
+	if costs["SSCLI"] < 20*costs["Native"] {
+		t.Fatalf("SSCLI first call %d not ≫ native %d", costs["SSCLI"], costs["Native"])
+	}
+}
+
+func TestNativeProfileNoWarmup(t *testing.T) {
+	rt, err := ProfileNative().NewRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rt.Invoke("M")
+	second := rt.Invoke("M")
+	if first != second {
+		t.Fatalf("native profile has a first-call effect: %v vs %v", first, second)
+	}
+	if rt.Allocate(1<<30) != 0 {
+		t.Fatal("native profile charged a GC pause")
+	}
+}

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/fsim"
+)
+
+// FileStream is the managed file handle the paper's benchmarks use: a
+// fsim.File wrapped with runtime dispatch and JIT costs on every call.
+// Like the File it wraps, a FileStream must not be shared across
+// goroutines.
+type FileStream struct {
+	rt *Runtime
+	f  fsim.File
+}
+
+// OpenFileStream opens name from store through the managed runtime. The
+// returned duration covers the constructor's managed cost (including its
+// first-call JIT) plus the store's open cost — exactly what the paper's
+// "time taken for performing the read operation includes: (1) creating an
+// instance of filestream class ..." measures.
+func OpenFileStream(rt *Runtime, store fsim.Store, name string) (*FileStream, time.Duration, error) {
+	managed := rt.Invoke(MethodFileStreamCtor)
+	f, openDur, err := store.Open(name)
+	if err != nil {
+		return nil, managed + openDur, err
+	}
+	return &FileStream{rt: rt, f: f}, managed + openDur, nil
+}
+
+// CreateFileStream creates (or truncates) name with contents and opens it.
+func CreateFileStream(rt *Runtime, store fsim.Store, name string, contents []byte) (*FileStream, time.Duration, error) {
+	managed := rt.Invoke(MethodFileStreamCtor)
+	createDur, err := store.Create(name, contents)
+	if err != nil {
+		return nil, managed + createDur, err
+	}
+	f, openDur, err := store.Open(name)
+	if err != nil {
+		return nil, managed + createDur + openDur, err
+	}
+	return &FileStream{rt: rt, f: f}, managed + createDur + openDur, nil
+}
+
+// Read fills p, charging managed dispatch plus the underlying I/O and a
+// managed allocation for the buffer copy.
+func (s *FileStream) Read(p []byte) (int, time.Duration, error) {
+	managed := s.rt.Invoke(MethodFileStreamRead)
+	n, dur, err := s.f.Read(p)
+	managed += s.rt.Allocate(int64(n))
+	return n, managed + dur, err
+}
+
+// Write stores p, charging managed dispatch plus the underlying I/O.
+func (s *FileStream) Write(p []byte) (int, time.Duration, error) {
+	managed := s.rt.Invoke(MethodFileStreamWrite)
+	n, dur, err := s.f.Write(p)
+	managed += s.rt.Allocate(int64(n))
+	return n, managed + dur, err
+}
+
+// SeekTo repositions the stream.
+func (s *FileStream) SeekTo(offset int64, whence int) (int64, time.Duration, error) {
+	managed := s.rt.Invoke(MethodFileStreamSeek)
+	pos, dur, err := s.f.SeekTo(offset, whence)
+	return pos, managed + dur, err
+}
+
+// Close releases the stream.
+func (s *FileStream) Close() (time.Duration, error) {
+	managed := s.rt.Invoke(MethodFileStreamClose)
+	dur, err := s.f.Close()
+	return managed + dur, err
+}
+
+// Size returns the underlying file's size.
+func (s *FileStream) Size() int64 { return s.f.Size() }
+
+// Name returns the underlying file's name.
+func (s *FileStream) Name() string { return s.f.Name() }
+
+// ReadAll reads the whole remaining stream into memory, returning the
+// data and the total charged duration — the doGet path of the paper's web
+// server (read the requested file, send it back).
+func (s *FileStream) ReadAll() ([]byte, time.Duration, error) {
+	var total time.Duration
+	var out []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, dur, err := s.Read(buf)
+		total += dur
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, total, nil
+		}
+		if err != nil {
+			return out, total, err
+		}
+	}
+}
+
+// StreamWriter mirrors System.IO.StreamWriter: buffered text writes over a
+// FileStream, used by the paper's doPost path ("the data is stored to the
+// new file using streamwriter class").
+type StreamWriter struct {
+	rt     *Runtime
+	stream *FileStream
+}
+
+// NewStreamWriter wraps stream, charging the constructor's managed cost.
+func NewStreamWriter(rt *Runtime, stream *FileStream) (*StreamWriter, time.Duration) {
+	managed := rt.Invoke(MethodStreamWriterCtor)
+	return &StreamWriter{rt: rt, stream: stream}, managed
+}
+
+// WriteString writes s through the managed writer.
+func (w *StreamWriter) WriteString(s string) (int, time.Duration, error) {
+	managed := w.rt.Invoke(MethodStreamWriterWrite)
+	n, dur, err := w.stream.Write([]byte(s))
+	return n, managed + dur, err
+}
+
+// Close closes the underlying stream.
+func (w *StreamWriter) Close() (time.Duration, error) {
+	return w.stream.Close()
+}
+
+// NetworkStream wraps a net.Conn with managed dispatch costs — the
+// paper's server creates one per accepted socket. Unlike FileStream, the
+// I/O underneath is real network I/O on the host.
+type NetworkStream struct {
+	rt   *Runtime
+	conn net.Conn
+}
+
+// NewNetworkStream wraps conn.
+func NewNetworkStream(rt *Runtime, conn net.Conn) *NetworkStream {
+	return &NetworkStream{rt: rt, conn: conn}
+}
+
+// Read fills p from the connection.
+func (ns *NetworkStream) Read(p []byte) (int, error) {
+	ns.rt.Invoke(MethodNetworkStreamRead)
+	return ns.conn.Read(p)
+}
+
+// Write sends p on the connection.
+func (ns *NetworkStream) Write(p []byte) (int, error) {
+	ns.rt.Invoke(MethodNetworkStreamWrite)
+	return ns.conn.Write(p)
+}
+
+// Close closes the connection.
+func (ns *NetworkStream) Close() error { return ns.conn.Close() }

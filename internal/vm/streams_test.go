@@ -1,0 +1,188 @@
+package vm
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/fsim"
+)
+
+func streamFixture(t *testing.T) (*Runtime, *fsim.FileStore) {
+	t.Helper()
+	rt := MustNew(DefaultConfig(), clock.NewVirtualClock(time.Unix(0, 0)))
+	rt.RegisterBCL()
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	return rt, store
+}
+
+func TestFileStreamReadRoundTrip(t *testing.T) {
+	rt, store := streamFixture(t)
+	want := []byte("managed bytes")
+	if _, err := store.Create("f", want); err != nil {
+		t.Fatal(err)
+	}
+	fs, openDur, err := OpenFileStream(rt, store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openDur <= 0 {
+		t.Fatal("open must cost time")
+	}
+	got := make([]byte, len(want))
+	n, _, err := fs.Read(got)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != len(want) || !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got[:n], want)
+	}
+	if _, err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFileStreamMissing(t *testing.T) {
+	rt, store := streamFixture(t)
+	if _, _, err := OpenFileStream(rt, store, "nope"); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+func TestFirstOpenPaysJITLaterOpensDoNot(t *testing.T) {
+	rt, store := streamFixture(t)
+	store.Create("a", []byte("x"))
+	store.Create("b", []byte("y"))
+	_, first, _ := OpenFileStream(rt, store, "a")
+	_, second, _ := OpenFileStream(rt, store, "b")
+	if first <= second {
+		t.Fatalf("first managed open %v not slower than second %v", first, second)
+	}
+	if first-second < DefaultConfig().JITBaseCost {
+		t.Fatalf("JIT gap %v below base compile cost", first-second)
+	}
+}
+
+func TestCreateFileStream(t *testing.T) {
+	rt, store := streamFixture(t)
+	fs, _, err := CreateFileStream(rt, store, "new", []byte("contents"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 8 || fs.Name() != "new" {
+		t.Fatalf("Size=%d Name=%q", fs.Size(), fs.Name())
+	}
+	fs.Close()
+	if !store.Exists("new") {
+		t.Fatal("created file missing from store")
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	rt, store := streamFixture(t)
+	want := bytes.Repeat([]byte("abcdefgh"), 20000) // ~160 KB, multiple read buffers
+	store.Create("big", want)
+	fs, _, _ := OpenFileStream(rt, store, "big")
+	defer fs.Close()
+	got, dur, err := fs.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReadAll returned %d bytes, want %d", len(got), len(want))
+	}
+	if dur <= 0 {
+		t.Fatal("ReadAll must cost time")
+	}
+}
+
+func TestFileStreamWriteAndSeek(t *testing.T) {
+	rt, store := streamFixture(t)
+	store.Create("w", make([]byte, 16))
+	fs, _, _ := OpenFileStream(rt, store, "w")
+	defer fs.Close()
+	if _, _, err := fs.SeekTo(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	fs.SeekTo(4, io.SeekStart)
+	got := make([]byte, 3)
+	fs.Read(got)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("read back %v", got)
+	}
+}
+
+func TestStreamWriter(t *testing.T) {
+	rt, store := streamFixture(t)
+	fs, _, err := CreateFileStream(rt, store, "post-1234", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ctorDur := NewStreamWriter(rt, fs)
+	if ctorDur <= 0 {
+		t.Fatal("StreamWriter ctor must cost time")
+	}
+	n, dur, err := w.WriteString("posted data")
+	if err != nil || n != 11 {
+		t.Fatalf("WriteString n=%d err=%v", n, err)
+	}
+	if dur <= 0 {
+		t.Fatal("WriteString must cost time")
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify contents via a fresh stream.
+	fs2, _, _ := OpenFileStream(rt, store, "post-1234")
+	got, _, _ := fs2.ReadAll()
+	fs2.Close()
+	if string(got) != "posted data" {
+		t.Fatalf("contents = %q", got)
+	}
+}
+
+func TestNetworkStream(t *testing.T) {
+	rt, _ := streamFixture(t)
+	client, server := net.Pipe()
+	ns := NewNetworkStream(rt, server)
+	go func() {
+		client.Write([]byte("ping"))
+		client.Close()
+	}()
+	buf := make([]byte, 4)
+	n, err := ns.Read(buf)
+	if err != nil || n != 4 || string(buf) != "ping" {
+		t.Fatalf("Read n=%d err=%v buf=%q", n, err, buf)
+	}
+	ns.Close()
+	// The managed read path must have gone through the runtime.
+	if rt.Method(MethodNetworkStreamRead) == nil {
+		t.Fatal("network read did not dispatch through runtime")
+	}
+}
+
+func TestNetworkStreamWrite(t *testing.T) {
+	rt, _ := streamFixture(t)
+	client, server := net.Pipe()
+	ns := NewNetworkStream(rt, server)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 4)
+		io.ReadFull(client, buf)
+		done <- buf
+	}()
+	if _, err := ns.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; string(got) != "pong" {
+		t.Fatalf("peer got %q", got)
+	}
+	ns.Close()
+	client.Close()
+}

@@ -1,0 +1,103 @@
+package webserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Response is what the client got back from the server.
+type Response struct {
+	Status int
+	Body   []byte
+	// ServerIOTime is the server-reported file I/O time for the request
+	// (the X-IO-Time-Ns header) — the quantity Tables 5-6 report.
+	ServerIOTime time.Duration
+}
+
+// Client issues GET and POST requests over one persistent connection.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Get fetches a file.
+func (c *Client) Get(name string) (*Response, error) {
+	if _, err := fmt.Fprintf(c.conn, "GET /%s HTTP/1.0\r\n\r\n", name); err != nil {
+		return nil, err
+	}
+	return c.readResponse()
+}
+
+// Post stores data in a fresh server-named file.
+func (c *Client) Post(name string, body []byte) (*Response, error) {
+	if _, err := fmt.Fprintf(c.conn, "POST /%s HTTP/1.0\r\nContent-Length: %d\r\n\r\n", name, len(body)); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(body); err != nil {
+		return nil, err
+	}
+	return c.readResponse()
+}
+
+// readResponse parses one response.
+func (c *Client) readResponse() (*Response, error) {
+	statusLine, err := c.br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(statusLine)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("webserver: malformed status line %q", statusLine)
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("webserver: bad status %q", fields[1])
+	}
+	resp := &Response{Status: status}
+	contentLength := 0
+	for {
+		h, err := c.br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		lower := strings.ToLower(h)
+		if v, ok := strings.CutPrefix(lower, "content-length:"); ok {
+			if contentLength, err = strconv.Atoi(strings.TrimSpace(v)); err != nil {
+				return nil, fmt.Errorf("webserver: bad content length %q", v)
+			}
+		}
+		if v, ok := strings.CutPrefix(lower, "x-io-time-ns:"); ok {
+			ns, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("webserver: bad io time %q", v)
+			}
+			resp.ServerIOTime = time.Duration(ns)
+		}
+	}
+	resp.Body = make([]byte, contentLength)
+	if _, err := io.ReadFull(c.br, resp.Body); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,32 @@
+package webserver
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// FuzzParseRequest hardens the wire parser: arbitrary bytes must parse or
+// fail cleanly, and parsed requests must be internally consistent.
+func FuzzParseRequest(f *testing.F) {
+	f.Add("GET /file.jpg HTTP/1.0\r\n\r\n")
+	f.Add("POST /x HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello")
+	f.Add("PUT /y HTTP/1.0\r\n\r\n")
+	f.Add("\r\n")
+	f.Add("GET")
+	f.Fuzz(func(t *testing.T, raw string) {
+		rt := vm.MustNew(vm.DefaultConfig(), nil)
+		req, err := parseRequest(bufio.NewReader(strings.NewReader(raw)), rt)
+		if err != nil {
+			return
+		}
+		if req.kind == "" {
+			t.Fatal("parsed request has empty method")
+		}
+		if req.kind != KindPost && len(req.body) != 0 {
+			t.Fatalf("non-POST carries a %d-byte body", len(req.body))
+		}
+	})
+}

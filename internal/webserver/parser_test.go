@@ -1,0 +1,108 @@
+package webserver
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func parseString(t *testing.T, raw string) (request, error) {
+	t.Helper()
+	rt := vm.MustNew(vm.DefaultConfig(), nil)
+	return parseRequest(bufio.NewReader(strings.NewReader(raw)), rt)
+}
+
+func TestParseGet(t *testing.T) {
+	req, err := parseString(t, "GET /image-1.jpg HTTP/1.0\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.kind != KindGet || req.file != "image-1.jpg" || len(req.body) != 0 {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestParsePostWithBody(t *testing.T) {
+	req, err := parseString(t, "POST /up HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.kind != KindPost || string(req.body) != "hello" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestParseHeaderCaseInsensitive(t *testing.T) {
+	req, err := parseString(t, "POST /x HTTP/1.0\r\ncontent-length: 3\r\n\r\nabc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.body) != "abc" {
+		t.Fatalf("body = %q", req.body)
+	}
+}
+
+func TestParseExtraHeadersIgnored(t *testing.T) {
+	req, err := parseString(t,
+		"GET /f HTTP/1.0\r\nHost: example.test\r\nUser-Agent: bench\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.file != "f" {
+		t.Fatalf("file = %q", req.file)
+	}
+}
+
+func TestParseMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"empty line", "\r\n\r\n"},
+		{"one field", "GET\r\n\r\n"},
+		{"bad content length", "POST /x HTTP/1.0\r\nContent-Length: banana\r\n\r\n"},
+		{"negative content length", "POST /x HTTP/1.0\r\nContent-Length: -5\r\n\r\n"},
+		{"truncated body", "POST /x HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc"},
+		{"truncated headers", "GET /x HTTP/1.0\r\nHost: h"},
+		{"empty input", ""},
+	}
+	for _, tc := range cases {
+		if _, err := parseString(t, tc.raw); err == nil {
+			t.Errorf("%s: parsed successfully", tc.name)
+		}
+	}
+}
+
+func TestParseWithoutCRTolerated(t *testing.T) {
+	// Bare-LF requests are accepted — TrimSpace handles both line
+	// endings, as lenient servers do.
+	req, err := parseString(t, "GET /f HTTP/1.0\n\n")
+	if err != nil {
+		t.Fatalf("bare-LF request rejected: %v", err)
+	}
+	if req.file != "f" {
+		t.Fatalf("file = %q", req.file)
+	}
+}
+
+func TestParsePostZeroLength(t *testing.T) {
+	req, err := parseString(t, "POST /x HTTP/1.0\r\nContent-Length: 0\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.body) != 0 {
+		t.Fatalf("body = %q", req.body)
+	}
+}
+
+func TestParseStripsLeadingSlashOnly(t *testing.T) {
+	req, err := parseString(t, "GET /dir/file.jpg HTTP/1.0\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.file != "dir/file.jpg" {
+		t.Fatalf("file = %q", req.file)
+	}
+}

@@ -1,0 +1,62 @@
+// Package workload generates the deterministic file corpora and request
+// mixes the benchmarks and examples run against.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fsim"
+)
+
+// Table5FileSizes are the paper's image-file sizes in request order
+// (§4.2, Table 5).
+var Table5FileSizes = []int64{7501, 50607, 14603}
+
+// Table6FileSize is the file re-read six times in Table 6 / Figure 6.
+const Table6FileSize = 14063
+
+// FileSpec names a corpus file and its size.
+type FileSpec struct {
+	Name string
+	Size int64
+}
+
+// WebCorpus returns the web-server benchmark corpus: the three Table 5
+// image files plus the Table 6 file.
+func WebCorpus() []FileSpec {
+	specs := make([]FileSpec, 0, len(Table5FileSizes)+1)
+	for i, size := range Table5FileSizes {
+		specs = append(specs, FileSpec{Name: fmt.Sprintf("image-%d.jpg", i+1), Size: size})
+	}
+	specs = append(specs, FileSpec{Name: "repeat.jpg", Size: Table6FileSize})
+	return specs
+}
+
+// Payload returns size deterministic pseudo-random bytes derived from
+// seed — stable across runs, cheap to verify (no RNG state to thread).
+func Payload(seed uint64, size int64) []byte {
+	out := make([]byte, size)
+	x := seed*2654435761 + 1
+	for i := range out {
+		// xorshift64* step per byte keeps this allocation-dominated.
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// Install creates every spec'd file in the store with deterministic
+// contents.
+func Install(store fsim.Store, specs []FileSpec) error {
+	for i, spec := range specs {
+		if spec.Size < 0 {
+			return fmt.Errorf("workload: file %q has negative size %d", spec.Name, spec.Size)
+		}
+		if _, err := store.Create(spec.Name, Payload(uint64(i+1), spec.Size)); err != nil {
+			return fmt.Errorf("workload: creating %q: %w", spec.Name, err)
+		}
+	}
+	return nil
+}

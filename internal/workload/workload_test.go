@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fsim"
+)
+
+func TestWebCorpusSpecs(t *testing.T) {
+	specs := WebCorpus()
+	if len(specs) != 4 {
+		t.Fatalf("corpus has %d files, want 4", len(specs))
+	}
+	wantSizes := []int64{7501, 50607, 14603, 14063}
+	for i, spec := range specs {
+		if spec.Size != wantSizes[i] {
+			t.Errorf("file %d size %d, want %d", i, spec.Size, wantSizes[i])
+		}
+		if spec.Name == "" {
+			t.Errorf("file %d has empty name", i)
+		}
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(7, 1000)
+	b := Payload(7, 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("payload not deterministic")
+	}
+	c := Payload(8, 1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds gave identical payloads")
+	}
+	if len(Payload(1, 0)) != 0 {
+		t.Fatal("zero-size payload not empty")
+	}
+}
+
+func TestPayloadNotDegenerate(t *testing.T) {
+	p := Payload(3, 4096)
+	counts := map[byte]int{}
+	for _, b := range p {
+		counts[b]++
+	}
+	if len(counts) < 100 {
+		t.Fatalf("payload uses only %d distinct byte values", len(counts))
+	}
+}
+
+func TestInstall(t *testing.T) {
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	if err := Install(store, WebCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range WebCorpus() {
+		if !store.Exists(spec.Name) {
+			t.Errorf("%s not installed", spec.Name)
+		}
+		f, _, err := store.Open(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != spec.Size {
+			t.Errorf("%s size %d, want %d", spec.Name, f.Size(), spec.Size)
+		}
+		f.Close()
+	}
+}
+
+func TestInstallRejectsNegativeSize(t *testing.T) {
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	if err := Install(store, []FileSpec{{Name: "bad", Size: -1}}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
