@@ -1,0 +1,39 @@
+# Single source of truth for the build/test commands; CI runs exactly
+# these targets (.github/workflows/ci.yml), so a green `make ci` locally
+# means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency suite: the sharded buffer cache, concurrent trace
+# replay, and the web server all run under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: every benchmark runs exactly once so regressions in
+# the harness itself (not perf) surface in CI quickly.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build vet fmt-check test race bench

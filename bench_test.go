@@ -462,6 +462,22 @@ func BenchmarkConcurrentReplay(b *testing.B) {
 			}
 		}
 	})
+	// The same goroutine-per-process replay with the page cache
+	// lock-striped (fsim.ShardedConfig): the end-to-end trajectory of the
+	// sharded-cache work, comparable against "concurrent" above.
+	b.Run("concurrent-sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store, err := fsim.NewFileStore(fsim.ShardedConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rp := tracesim.NewReplayer(store)
+			rp.SampleFileSize = params.FileSize
+			if _, err := rp.ReplayConcurrent("Pgrep", tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationRAID replays the write-heavy LU trace over RAID-0,

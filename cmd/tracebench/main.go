@@ -9,13 +9,18 @@
 //	tracebench -trace ./traces/lu.trace
 //	tracebench -app Dmine -real -dir /tmp/replaydir
 //	tracebench -tables            # regenerate Tables 1-4
+//	tracebench -app Pgrep -concurrent -shards 0   # striped cache, auto
+//	tracebench -app Mixed -sweep                  # shard scaling sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
+	"time"
 
+	"repro/internal/buffercache"
 	"repro/internal/fsim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -35,6 +40,8 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "replay with one goroutine per traced process")
 		dump       = flag.Bool("dump", false, "print the trace in text form instead of replaying")
 		paced      = flag.Bool("paced", false, "honour the trace's wall-clock stamps as think time")
+		shards     = flag.Int("shards", 1, "page-cache lock stripes (power of two); 0 = derive from GOMAXPROCS")
+		sweep      = flag.Bool("sweep", false, "replay concurrently at shard counts 1,2,4,...,auto and report scaling")
 	)
 	flag.Parse()
 
@@ -65,6 +72,15 @@ func main() {
 			fatal(err)
 		}
 		name = *tracePath
+	case *app == "Mixed":
+		// The five applications interleaved through one cache — the
+		// consolidation workload, and the natural -sweep subject.
+		var err error
+		tr, err = tracegen.Mixed(params)
+		if err != nil {
+			fatal(err)
+		}
+		name = *app
 	case *app != "":
 		var err error
 		tr, err = tracegen.Generate(*app, params)
@@ -80,6 +96,16 @@ func main() {
 
 	if *dump {
 		if err := trace.Dump(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *sweep {
+		if *real {
+			fatal(fmt.Errorf("-sweep replays against the simulator; drop -real"))
+		}
+		if err := sweepShards(name, tr, *fileSize, *paced); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,7 +128,9 @@ func main() {
 		}
 		store = s
 	} else {
-		s, err := fsim.NewFileStore(fsim.DefaultConfig())
+		cfg := fsim.DefaultConfig()
+		cfg.Cache.Shards = resolveShards(*shards)
+		s, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -130,6 +158,51 @@ func main() {
 				r.Index, r.Op, r.Size, r.SeekMS, r.ReadMS, r.WriteMS)
 		}
 	}
+}
+
+// resolveShards maps the -shards flag to a stripe count: 0 derives from
+// GOMAXPROCS, anything else passes through (the store validates it).
+func resolveShards(n int) int {
+	if n == 0 {
+		return buffercache.AutoShards()
+	}
+	return n
+}
+
+// sweepShards replays the trace concurrently once per shard count from 1
+// (the single-mutex baseline) doubling up to the machine-derived stripe
+// count, and prints wall-clock scaling alongside the simulated elapsed
+// time — the lock-striping ablation as a command.
+func sweepShards(name string, tr *trace.Trace, fileSize int64, paced bool) error {
+	max := buffercache.AutoShards()
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\twall time\tspeedup\tsimulated I/O\tcache hit rate")
+	var baseline time.Duration
+	for n := 1; n <= max; n *= 2 {
+		cfg := fsim.DefaultConfig()
+		cfg.Cache.Shards = n
+		store, err := fsim.NewFileStore(cfg)
+		if err != nil {
+			return err
+		}
+		rp := tracesim.NewReplayer(store)
+		rp.SampleFileSize = fileSize
+		rp.Paced = paced
+		start := time.Now()
+		rep, err := rp.ReplayConcurrent(name, tr)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		if n == 1 {
+			baseline = wall
+		}
+		speedup := float64(baseline) / float64(wall)
+		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%v\t%.1f%%\n",
+			n, wall.Round(time.Microsecond), speedup, rep.Elapsed.Round(time.Microsecond),
+			store.Cache().Stats().HitRate()*100)
+	}
+	return w.Flush()
 }
 
 func fatal(err error) {

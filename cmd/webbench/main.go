@@ -6,6 +6,7 @@
 //
 //	webbench -mode tables
 //	webbench -mode serve -addr :5050
+//	webbench -mode serve -shards 0        # lock-striped page cache, auto
 //	webbench -mode load -target 127.0.0.1:5050 -clients 8 -requests 100
 package main
 
@@ -17,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buffercache"
 	"repro/internal/fsim"
 	"repro/internal/metrics"
 	"repro/internal/vm"
@@ -32,6 +34,7 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent clients in load mode")
 		requests = flag.Int("requests", 50, "requests per client in load mode")
 		posts    = flag.Bool("posts", false, "mix POSTs into the load")
+		shards   = flag.Int("shards", 1, "page-cache lock stripes for serve mode (power of two); 0 = derive from GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -39,7 +42,7 @@ func main() {
 	case "tables":
 		runTables()
 	case "serve":
-		runServe(*addr)
+		runServe(*addr, *shards)
 	case "load":
 		runLoad(*target, *clients, *requests, *posts)
 	default:
@@ -66,8 +69,13 @@ func runTables() {
 	fmt.Println(fig.RenderLines(44, 10))
 }
 
-func runServe(addr string) {
-	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+func runServe(addr string, shards int) {
+	cfg := fsim.DefaultConfig()
+	if shards == 0 {
+		shards = buffercache.AutoShards()
+	}
+	cfg.Cache.Shards = shards
+	store, err := fsim.NewFileStore(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +95,8 @@ func runServe(addr string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving benchmark corpus on %s (ctrl-c to stop)\n", bound)
+	fmt.Printf("serving benchmark corpus on %s with %d cache stripes (ctrl-c to stop)\n",
+		bound, store.Cache().NumShards())
 	for _, spec := range workload.WebCorpus() {
 		fmt.Printf("  GET /%s  (%d bytes)\n", spec.Name, spec.Size)
 	}

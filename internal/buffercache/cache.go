@@ -8,19 +8,37 @@
 //
 // The cache tracks residency metadata only (which pages are in memory,
 // which are dirty); file contents live in the file store above it. All
-// timing is simulated and deterministic.
+// timing is simulated and deterministic for a single-threaded caller.
+//
+// Concurrency: the cache is lock-striped. Pages hash onto a power-of-two
+// number of shards, each with its own mutex, LRU list, and dirty set, so
+// goroutines touching different stripes never contend. The memory budget
+// (Config.NumPages) stays global: frames live in a shared pool, an atomic
+// gauge tracks residency, and a stripe under pressure first drains the
+// pool, then evicts its own LRU, and finally reclaims a frame from the
+// fullest sibling — so capacity flows to hot stripes instead of being
+// statically partitioned. Shards == 1 reproduces the original
+// single-mutex cache's per-operation behavior exactly, including its
+// eviction order, which is what the paper-fidelity experiments run. The
+// one deliberate change is Flush: it now sweeps dirty pages in ascending
+// page order (the old implementation walked a Go map, so its simulated
+// sweep timing varied run to run).
 package buffercache
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simdisk"
 )
 
 // Backend is the storage the cache misses to. Both *simdisk.Disk and
-// *simdisk.Array satisfy it.
+// *simdisk.Array satisfy it; implementations must be safe for concurrent
+// use, as different shards write back independently.
 type Backend interface {
 	Access(now time.Time, req simdisk.Request) (done time.Time, service time.Duration)
 }
@@ -29,7 +47,7 @@ type Backend interface {
 type Config struct {
 	// PageSize is the cache page (block) size in bytes.
 	PageSize int64
-	// NumPages is the capacity in pages.
+	// NumPages is the capacity in pages, shared across all shards.
 	NumPages int
 	// PrefetchPages is how many additional sequential pages a miss pulls
 	// in (read-ahead window). Zero disables prefetching.
@@ -42,12 +60,51 @@ type Config struct {
 	// HitOverhead is the fixed cost of a cache-hit lookup, modelling the
 	// managed-runtime buffer lookup path.
 	HitOverhead time.Duration
+	// Shards is the number of lock stripes and must be a power of two.
+	// Zero takes AutoShards(), the GOMAXPROCS-derived default. One shard
+	// reproduces the original global-mutex cache bit for bit.
+	Shards int
+}
+
+// defaultShards is the process-wide shard count DefaultConfig hands out:
+// 1 (the paper's deterministic single-stripe configuration) unless
+// SetDefaultShards raised it.
+var defaultShards atomic.Int32
+
+// AutoShards returns the GOMAXPROCS-derived shard count: the smallest
+// power of two covering twice the processor count, clamped to [4, 256] so
+// concurrent paths stay striped even on single-core machines.
+func AutoShards() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	s := 4
+	for s < n && s < 256 {
+		s <<= 1
+	}
+	return s
+}
+
+// SetDefaultShards sets the shard count DefaultConfig bakes into the
+// configurations it returns: 0 restores the deterministic single-shard
+// default, otherwise n must be a power of two. Call once at startup (the
+// core options registry does this for the cache_shards key); it is not
+// safe to race with running experiments.
+func SetDefaultShards(n int) error {
+	if n < 0 || (n > 0 && n&(n-1) != 0) {
+		return fmt.Errorf("buffercache: default shards %d must be 0 or a power of two", n)
+	}
+	defaultShards.Store(int32(n))
+	return nil
 }
 
 // DefaultConfig returns the configuration used across the reproduction:
 // 4 KB pages, 16 MB of cache, 8-page read-ahead, write-behind enabled,
-// 1 GB/s copy bandwidth and a 1 µs hit path.
+// 1 GB/s copy bandwidth, a 1 µs hit path, and the process default shard
+// count (one stripe unless SetDefaultShards raised it).
 func DefaultConfig() Config {
+	shards := int(defaultShards.Load())
+	if shards == 0 {
+		shards = 1
+	}
 	return Config{
 		PageSize:      4 << 10,
 		NumPages:      4096,
@@ -55,7 +112,17 @@ func DefaultConfig() Config {
 		WriteBehind:   true,
 		MemCopyRate:   1 << 30,
 		HitOverhead:   time.Microsecond,
+		Shards:        shards,
 	}
+}
+
+// ShardedConfig is DefaultConfig striped for the machine: the shard count
+// is AutoShards(). Use it for concurrent workloads; single-threaded
+// paper-fidelity runs keep DefaultConfig.
+func ShardedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Shards = AutoShards()
+	return cfg
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -71,6 +138,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("buffercache: mem copy rate %v must be positive", c.MemCopyRate)
 	case c.HitOverhead < 0:
 		return fmt.Errorf("buffercache: hit overhead %v must be non-negative", c.HitOverhead)
+	case c.Shards < 0 || (c.Shards > 0 && c.Shards&(c.Shards-1) != 0):
+		return fmt.Errorf("buffercache: shards %d must be a power of two", c.Shards)
 	}
 	return nil
 }
@@ -87,6 +156,18 @@ type Stats struct {
 	BytesToDisk   int64
 }
 
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.PrefetchedIn += other.PrefetchedIn
+	s.PrefetchHits += other.PrefetchHits
+	s.Evictions += other.Evictions
+	s.DirtyFlushes += other.DirtyFlushes
+	s.BytesFromDisk += other.BytesFromDisk
+	s.BytesToDisk += other.BytesToDisk
+}
+
 // HitRate returns hits / (hits+misses), or 0 when idle.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses
@@ -96,23 +177,35 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// streamTails is how many concurrent sequential streams read-ahead
+// detection tracks, mirroring the multi-stream readahead of real
+// operating systems.
+const streamTails = 4
+
 // Cache is the page cache. It is safe for concurrent use.
 type Cache struct {
 	cfg     Config
 	backend Backend
 
-	mu       sync.Mutex
-	resident map[int64]*frame
-	lru      lruList
-	free     []*frame
+	shards     []*shard
+	shardShift uint // stripe index = fibonacci hash >> (64 - shardShift)
+
+	// pool holds the frames not resident anywhere: the global memory
+	// budget. used is the atomic residency gauge (== NumPages - free
+	// frames at rest), making ResidentPages O(1).
+	poolMu sync.Mutex
+	pool   []*frame
+	used   atomic.Int64
+
 	// tails holds the last page of several recent read streams, so that
 	// interleaved sequential scans (one per file or region, as the
 	// Cholesky and multi-pass Dmine traces produce) each keep their
-	// read-ahead detection — mirroring the multi-stream readahead of real
-	// operating systems.
-	tails    [4]int64
-	nextTail int
-	stats    Stats
+	// read-ahead detection. The slots are atomics rather than a mutex so
+	// stream detection never serializes the striped hit path; under
+	// concurrency a race can only mis-detect sequentiality, never corrupt
+	// state.
+	tails    [streamTails]atomic.Int64
+	nextTail atomic.Uint32
 }
 
 // New builds a cache over backend. It returns an error for an invalid
@@ -124,34 +217,31 @@ func New(cfg Config, backend Backend) (*Cache, error) {
 	if backend == nil {
 		return nil, fmt.Errorf("buffercache: nil backend")
 	}
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = AutoShards()
+	}
+	var shift uint
+	for 1<<shift < nShards {
+		shift++
+	}
 	c := &Cache{
-		cfg:      cfg,
-		backend:  backend,
-		resident: make(map[int64]*frame, cfg.NumPages),
+		cfg:        cfg,
+		backend:    backend,
+		shards:     make([]*shard, nShards),
+		shardShift: shift,
+		pool:       make([]*frame, 0, cfg.NumPages),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{resident: make(map[int64]*frame, cfg.NumPages/nShards+1)}
 	}
 	for i := range c.tails {
-		c.tails[i] = -2 // never adjacent to a real first access
+		c.tails[i].Store(-2) // never adjacent to a real first access
 	}
 	for i := 0; i < cfg.NumPages; i++ {
-		c.free = append(c.free, &frame{page: -1})
+		c.pool = append(c.pool, &frame{page: -1})
 	}
 	return c, nil
-}
-
-// noteRead records a read ending at page last and reports whether the
-// read starting at page first continued one of the tracked streams.
-// Caller holds mu.
-func (c *Cache) noteRead(first, last int64) bool {
-	for i, t := range c.tails {
-		if first == t+1 || first == t {
-			c.tails[i] = last
-			return true
-		}
-	}
-	// New stream: replace the oldest slot.
-	c.tails[c.nextTail] = last
-	c.nextTail = (c.nextTail + 1) % len(c.tails)
-	return false
 }
 
 // MustNew is New that panics on error, for literal wiring in tools/tests.
@@ -163,29 +253,76 @@ func MustNew(cfg Config, backend Backend) *Cache {
 	return c
 }
 
+// shardOf maps a page number to its lock stripe by fibonacci hashing, so
+// contiguous page runs spread across stripes instead of convoying on one.
+func (c *Cache) shardOf(page int64) *shard {
+	return c.shards[c.shardIndex(page)]
+}
+
+// shardIndex returns the stripe index for page. With one shard the shift
+// is 64, which Go defines to yield 0.
+func (c *Cache) shardIndex(page int64) int {
+	h := uint64(page) * 0x9E3779B97F4A7C15
+	return int(h >> (64 - c.shardShift))
+}
+
+// noteRead records a read ending at page last and reports whether the
+// read starting at page first continued one of the tracked streams.
+func (c *Cache) noteRead(first, last int64) bool {
+	for i := range c.tails {
+		t := c.tails[i].Load()
+		if first == t+1 || first == t {
+			c.tails[i].Store(last)
+			return true
+		}
+	}
+	// New stream: replace the oldest slot.
+	i := (c.nextTail.Add(1) - 1) % streamTails
+	c.tails[i].Store(last)
+	return false
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns a snapshot of the counters.
+// NumShards returns the number of lock stripes.
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// Stats aggregates the per-shard counters into one snapshot. Each stripe
+// is summed under its own lock in index order, so the totals are exact
+// whenever the cache is quiescent and internally consistent (every page
+// access counted exactly once) even while other goroutines run.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Resident reports whether the page containing offset is cached.
 func (c *Cache) Resident(offset int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.resident[offset/c.cfg.PageSize]
-	return ok
+	return c.isResident(offset / c.cfg.PageSize)
 }
 
-// ResidentPages returns the number of cached pages.
+// ResidentPages returns the number of cached pages, read from the atomic
+// budget gauge.
 func (c *Cache) ResidentPages() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.resident)
+	return int(c.used.Load())
+}
+
+// DirtyPages returns the number of dirty resident pages by summing the
+// per-shard dirty sets.
+func (c *Cache) DirtyPages() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.dirty
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // pageRange returns the first and last page numbers covering
@@ -203,57 +340,6 @@ func (c *Cache) copyCost(n int64) time.Duration {
 	return c.cfg.HitOverhead + time.Duration(float64(n)/c.cfg.MemCopyRate*float64(time.Second))
 }
 
-// evictOne frees the LRU frame, writing it back if dirty. Caller holds mu.
-// It returns the time writeback completed (== now when clean).
-func (c *Cache) evictOne(now time.Time) time.Time {
-	victim := c.lru.back()
-	if victim == nil {
-		return now
-	}
-	c.lru.remove(victim)
-	delete(c.resident, victim.page)
-	c.stats.Evictions++
-	done := now
-	if victim.dirty {
-		done, _ = c.backend.Access(now, simdisk.Request{
-			Offset: victim.page * c.cfg.PageSize,
-			Length: c.cfg.PageSize,
-			Write:  true,
-		})
-		c.stats.DirtyFlushes++
-		c.stats.BytesToDisk += c.cfg.PageSize
-	}
-	victim.page = -1
-	victim.dirty = false
-	victim.prefetched = false
-	c.free = append(c.free, victim)
-	return done
-}
-
-// install makes page resident, evicting as needed. Caller holds mu.
-// Returns the eviction writeback completion horizon.
-func (c *Cache) install(now time.Time, page int64, dirty, prefetched bool) time.Time {
-	if f, ok := c.resident[page]; ok {
-		if dirty {
-			f.dirty = true
-		}
-		c.lru.moveToFront(f)
-		return now
-	}
-	horizon := now
-	if len(c.free) == 0 {
-		horizon = c.evictOne(now)
-	}
-	f := c.free[len(c.free)-1]
-	c.free = c.free[:len(c.free)-1]
-	f.page = page
-	f.dirty = dirty
-	f.prefetched = prefetched
-	c.resident[page] = f
-	c.lru.pushFront(f)
-	return horizon
-}
-
 // Read simulates reading [offset, offset+length). It returns the
 // completion time and the elapsed duration. Resident pages cost memory
 // copies; missing pages are fetched from the backend in contiguous runs,
@@ -263,9 +349,6 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 	if length < 0 {
 		length = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
 	done := now
 	first, last := c.pageRange(offset, length)
 	if last < first { // zero-length read: lookup cost only
@@ -278,36 +361,32 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 	// Walk the page range, coalescing misses into contiguous disk runs.
 	page := first
 	for page <= last {
-		if f, ok := c.resident[page]; ok {
-			c.stats.Hits++
-			if f.prefetched {
-				c.stats.PrefetchHits++
-				f.prefetched = false
-			}
-			c.lru.moveToFront(f)
+		if c.touchHit(page) {
 			done = done.Add(c.copyCost(c.cfg.PageSize))
 			page++
 			continue
 		}
-		// Miss: extend the run over consecutive missing pages.
+		// Miss: extend the run over consecutive missing pages, which may
+		// span stripes.
 		runStart := page
-		for page <= last {
-			if _, ok := c.resident[page]; ok {
-				break
-			}
+		page++
+		for page <= last && !c.isResident(page) {
 			page++
 		}
 		runEnd := page - 1 // inclusive
 		nDemand := runEnd - runStart + 1
-		c.stats.Misses += nDemand
-		c.stats.BytesFromDisk += nDemand * c.cfg.PageSize
+		rs := c.shardOf(runStart)
+		rs.mu.Lock()
+		rs.stats.Misses += nDemand
+		rs.stats.BytesFromDisk += nDemand * c.cfg.PageSize
+		rs.mu.Unlock()
 		diskDone, _ := c.backend.Access(done, simdisk.Request{
 			Offset: runStart * c.cfg.PageSize,
 			Length: nDemand * c.cfg.PageSize,
 		})
 		done = diskDone
 		for p := runStart; p <= runEnd; p++ {
-			c.install(done, p, false, false)
+			c.installPage(done, p, false, false, false)
 		}
 		// Asynchronous read-ahead: queue the next window behind the
 		// demand fetch. It occupies the disk but is not charged to this
@@ -319,13 +398,17 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 				Offset: pfStart * c.cfg.PageSize,
 				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
 			})
+			var brought int64
 			for p := pfStart; p <= pfEnd; p++ {
-				if _, ok := c.resident[p]; ok {
-					continue
+				if fresh, _ := c.installPage(diskDone, p, false, true, false); fresh {
+					brought++
 				}
-				c.stats.PrefetchedIn++
-				c.stats.BytesFromDisk += c.cfg.PageSize
-				c.install(diskDone, p, false, true)
+			}
+			if brought > 0 {
+				rs.mu.Lock()
+				rs.stats.PrefetchedIn += brought
+				rs.stats.BytesFromDisk += brought * c.cfg.PageSize
+				rs.mu.Unlock()
 			}
 		}
 		// Copy the demanded part of the run to the caller.
@@ -341,9 +424,6 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 	if length < 0 {
 		length = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
 	done := now
 	first, last := c.pageRange(offset, length)
 	if last < first {
@@ -351,12 +431,7 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 		return d, d.Sub(now)
 	}
 	for page := first; page <= last; page++ {
-		if _, ok := c.resident[page]; ok {
-			c.stats.Hits++
-		} else {
-			c.stats.Misses++
-		}
-		horizon := c.install(done, page, c.cfg.WriteBehind, false)
+		_, horizon := c.installPage(done, page, c.cfg.WriteBehind, false, true)
 		if horizon.After(done) {
 			done = horizon // eviction write-back stalled us
 		}
@@ -364,7 +439,10 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 	done = done.Add(c.copyCost(length))
 	if !c.cfg.WriteBehind {
 		diskDone, _ := c.backend.Access(done, simdisk.Request{Offset: offset, Length: length, Write: true})
-		c.stats.BytesToDisk += length
+		s := c.shardOf(first)
+		s.mu.Lock()
+		s.stats.BytesToDisk += length
+		s.mu.Unlock()
 		done = diskDone
 	}
 	return done, done.Sub(now)
@@ -372,85 +450,91 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 
 // Flush writes back every dirty page and returns the completion time.
 // This is what makes close slower than open in the paper's traces.
+// The pass is two-phase: collect the dirty set from every stripe, then
+// write back in ascending page order — one global elevator sweep whose
+// simulated timing is deterministic and independent of the shard count.
+// Pages dirtied concurrently with the sweep are left for the next flush;
+// pages cleaned concurrently are skipped.
 func (c *Cache) Flush(now time.Time) (time.Time, time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	done := now
-	for _, f := range c.resident {
-		if !f.dirty {
-			continue
+	var pages []int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, f := range s.resident {
+			if f.dirty {
+				pages = append(pages, f.page)
+			}
 		}
-		var d time.Time
-		d, _ = c.backend.Access(done, simdisk.Request{
-			Offset: f.page * c.cfg.PageSize,
-			Length: c.cfg.PageSize,
-			Write:  true,
-		})
-		f.dirty = false
-		c.stats.DirtyFlushes++
-		c.stats.BytesToDisk += c.cfg.PageSize
-		done = d
+		s.mu.Unlock()
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	done := now
+	for _, page := range pages {
+		done = c.flushPage(done, page)
 	}
 	return done, done.Sub(now)
+}
+
+// flushPage writes back one page if it is still resident and dirty,
+// returning the new completion horizon (== done when there was nothing to
+// write).
+func (c *Cache) flushPage(done time.Time, page int64) time.Time {
+	s := c.shardOf(page)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.resident[page]
+	if !ok || !f.dirty {
+		return done
+	}
+	d, _ := c.backend.Access(done, simdisk.Request{
+		Offset: page * c.cfg.PageSize,
+		Length: c.cfg.PageSize,
+		Write:  true,
+	})
+	f.dirty = false
+	s.dirty--
+	s.stats.DirtyFlushes++
+	s.stats.BytesToDisk += c.cfg.PageSize
+	return d
 }
 
 // FlushRange writes back dirty pages intersecting [offset, offset+length).
 // File stores use it to flush one file's pages on close without disturbing
 // the rest of the cache.
 func (c *Cache) FlushRange(now time.Time, offset, length int64) (time.Time, time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	done := now
 	if length <= 0 {
 		return done, 0
 	}
 	first, last := c.pageRange(offset, length)
 	for page := first; page <= last; page++ {
-		f, ok := c.resident[page]
-		if !ok || !f.dirty {
-			continue
-		}
-		var d time.Time
-		d, _ = c.backend.Access(done, simdisk.Request{
-			Offset: page * c.cfg.PageSize,
-			Length: c.cfg.PageSize,
-			Write:  true,
-		})
-		f.dirty = false
-		c.stats.DirtyFlushes++
-		c.stats.BytesToDisk += c.cfg.PageSize
-		done = d
+		done = c.flushPage(done, page)
 	}
 	return done, done.Sub(now)
-}
-
-// DirtyPages returns the number of dirty resident pages.
-func (c *Cache) DirtyPages() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, f := range c.resident {
-		if f.dirty {
-			n++
-		}
-	}
-	return n
 }
 
 // Invalidate drops every resident page without writing anything back.
 // Tests use it to recreate a cold cache.
 func (c *Cache) Invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for page, f := range c.resident {
-		c.lru.remove(f)
-		delete(c.resident, page)
-		f.page = -1
-		f.dirty = false
-		f.prefetched = false
-		c.free = append(c.free, f)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		freed := make([]*frame, 0, len(s.resident))
+		for page, f := range s.resident {
+			s.lru.remove(f)
+			delete(s.resident, page)
+			f.page = -1
+			f.dirty = false
+			f.prefetched = false
+			freed = append(freed, f)
+		}
+		s.dirty = 0
+		s.size.Store(0)
+		c.used.Add(-int64(len(freed)))
+		s.mu.Unlock()
+		for _, f := range freed {
+			c.pushFree(f)
+		}
 	}
 	for i := range c.tails {
-		c.tails[i] = -2
+		c.tails[i].Store(-2)
 	}
 }

@@ -1,0 +1,197 @@
+package buffercache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// shard is one lock stripe of the cache: a mutex, the resident map for the
+// pages that hash here, an LRU list, a dirty-page count (the shard's dirty
+// set), and this stripe's slice of the statistics. Shards never take each
+// other's locks; cross-shard work (frame rebalancing, aggregation) goes
+// through the cache's global frame pool and the per-shard atomic gauges.
+type shard struct {
+	mu       sync.Mutex
+	resident map[int64]*frame
+	lru      lruList
+	dirty    int   // dirty-set size; guarded by mu
+	stats    Stats // this stripe's counters; guarded by mu
+	// size mirrors len(resident) so the reclaim path can pick the fullest
+	// shard without taking every lock.
+	size atomic.Int32
+}
+
+// evictLocked evicts victim (which must be linked in s) writing it back if
+// dirty, and returns the write-back completion time (== now when clean).
+// The caller holds s.mu and owns the returned-to-free-state frame.
+func (s *shard) evictLocked(c *Cache, now time.Time, victim *frame) time.Time {
+	s.lru.remove(victim)
+	delete(s.resident, victim.page)
+	s.size.Add(-1)
+	c.used.Add(-1)
+	s.stats.Evictions++
+	done := now
+	if victim.dirty {
+		done, _ = c.backend.Access(now, simdisk.Request{
+			Offset: victim.page * c.cfg.PageSize,
+			Length: c.cfg.PageSize,
+			Write:  true,
+		})
+		s.dirty--
+		s.stats.DirtyFlushes++
+		s.stats.BytesToDisk += c.cfg.PageSize
+	}
+	victim.page = -1
+	victim.dirty = false
+	victim.prefetched = false
+	return done
+}
+
+// popFree takes a frame from the global pool, or nil when the memory
+// budget is exhausted (every frame is resident somewhere).
+func (c *Cache) popFree() *frame {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if len(c.pool) == 0 {
+		return nil
+	}
+	f := c.pool[len(c.pool)-1]
+	c.pool = c.pool[:len(c.pool)-1]
+	return f
+}
+
+// pushFree returns a frame to the global pool.
+func (c *Cache) pushFree(f *frame) {
+	c.poolMu.Lock()
+	c.pool = append(c.pool, f)
+	c.poolMu.Unlock()
+}
+
+// reclaimRemote evicts the LRU page of the most loaded shard and returns
+// the freed frame to the global pool. This is the rebalancing path: a
+// hash-hot shard that outgrew its proportional share of the budget gives a
+// frame back to whichever stripe is under pressure. It reports the
+// write-back completion horizon and whether a frame was actually freed
+// (false only when a racing Invalidate emptied the cache, or every frame
+// is momentarily in flight between pool and shard).
+func (c *Cache) reclaimRemote(now time.Time) (time.Time, bool) {
+	var victim *shard
+	var max int32
+	for _, t := range c.shards {
+		if n := t.size.Load(); n > max {
+			max, victim = n, t
+		}
+	}
+	if victim == nil {
+		return now, false
+	}
+	victim.mu.Lock()
+	v := victim.lru.back()
+	if v == nil { // raced with eviction/invalidate; caller rescans
+		victim.mu.Unlock()
+		return now, false
+	}
+	done := victim.evictLocked(c, now, v)
+	victim.mu.Unlock()
+	c.pushFree(v)
+	return done, true
+}
+
+// touchHit reports whether page is resident; if so it records the hit and
+// freshens the page's LRU position.
+func (c *Cache) touchHit(page int64) bool {
+	s := c.shardOf(page)
+	s.mu.Lock()
+	f, ok := s.resident[page]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.stats.Hits++
+	if f.prefetched {
+		s.stats.PrefetchHits++
+		f.prefetched = false
+	}
+	s.lru.moveToFront(f)
+	s.mu.Unlock()
+	return true
+}
+
+// isResident reports residency without touching LRU state or statistics;
+// the read path uses it to extend miss runs across stripes.
+func (c *Cache) isResident(page int64) bool {
+	s := c.shardOf(page)
+	s.mu.Lock()
+	_, ok := s.resident[page]
+	s.mu.Unlock()
+	return ok
+}
+
+// installPage makes page resident in its shard, evicting under memory
+// pressure: first the global free pool, then this shard's own LRU, and as
+// a last resort a reclaim from the fullest sibling. It reports whether the
+// page was newly installed (false when it was already resident) and the
+// completion horizon of any dirty write-back performed on behalf of this
+// install (== now when nothing had to be written back). When count is set
+// the lookup is charged to the shard's hit/miss counters, as the write
+// path requires.
+func (c *Cache) installPage(now time.Time, page int64, dirty, prefetched, count bool) (fresh bool, horizon time.Time) {
+	s := c.shardOf(page)
+	horizon = now
+	for {
+		s.mu.Lock()
+		if f, ok := s.resident[page]; ok {
+			if count {
+				s.stats.Hits++
+			}
+			if dirty && !f.dirty {
+				f.dirty = true
+				s.dirty++
+			}
+			s.lru.moveToFront(f)
+			s.mu.Unlock()
+			return false, horizon
+		}
+		f := c.popFree()
+		if f == nil {
+			if victim := s.lru.back(); victim != nil {
+				done := s.evictLocked(c, now, victim)
+				if done.After(horizon) {
+					horizon = done
+				}
+				f = victim
+			}
+		}
+		if f != nil {
+			if count {
+				s.stats.Misses++
+			}
+			f.page = page
+			f.dirty = dirty
+			f.prefetched = prefetched
+			s.resident[page] = f
+			s.lru.pushFront(f)
+			s.size.Add(1)
+			c.used.Add(1)
+			if dirty {
+				s.dirty++
+			}
+			s.mu.Unlock()
+			return true, horizon
+		}
+		// Budget exhausted and this stripe holds nothing to evict: pull a
+		// frame back from the fullest sibling, then retry the install.
+		s.mu.Unlock()
+		done, ok := c.reclaimRemote(now)
+		if done.After(horizon) {
+			horizon = done
+		}
+		if !ok {
+			runtime.Gosched() // frames are in flight; let holders finish
+		}
+	}
+}

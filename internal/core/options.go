@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/appmodel"
+	"repro/internal/buffercache"
 	"repro/internal/tracegen"
 )
 
@@ -19,6 +20,10 @@ type Options struct {
 	Base time.Duration
 	// TraceParams configures benchmark 2's generation and replay.
 	TraceParams tracegen.Params
+	// CacheShards is the page-cache lock-stripe count every simulated
+	// store in the registry is built with. Zero keeps the paper's
+	// deterministic single stripe; otherwise it must be a power of two.
+	CacheShards int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -37,7 +42,18 @@ var current = DefaultOptions()
 // SetOptions replaces the registry's process-wide configuration. Zero
 // fields take the defaults. Call before Experiments()/Run; not safe to
 // race with running experiments.
-func SetOptions(opts Options) { current = opts.fillDefaults() }
+func SetOptions(opts Options) {
+	current = opts.fillDefaults()
+	// The stores the experiments build pick the stripe count up from the
+	// buffercache default. LoadOptions validates CacheShards; a caller
+	// setting an invalid count directly falls back to the single stripe,
+	// and the registry's recorded options are corrected to match so the
+	// configuration never claims stripes the stores don't have.
+	if err := buffercache.SetDefaultShards(current.CacheShards); err != nil {
+		current.CacheShards = 0
+		buffercache.SetDefaultShards(0)
+	}
+}
 
 // fillDefaults replaces zero fields with defaults.
 func (o Options) fillDefaults() Options {
@@ -64,6 +80,7 @@ type configJSON struct {
 	BaseSeconds     *float64 `json:"base_seconds"`
 	TraceFileSizeMB *int64   `json:"trace_file_size_mb"`
 	TraceRequests   *int     `json:"trace_requests"`
+	CacheShards     *int     `json:"cache_shards"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -96,6 +113,18 @@ func LoadOptions(r io.Reader) (Options, error) {
 	}
 	if cfg.TraceRequests != nil {
 		opts.TraceParams.Requests = *cfg.TraceRequests
+	}
+	if cfg.CacheShards != nil {
+		// 0 in the file is an explicit ask for the machine-derived stripe
+		// count; absent keeps the deterministic single stripe.
+		if *cfg.CacheShards == 0 {
+			opts.CacheShards = buffercache.AutoShards()
+		} else {
+			opts.CacheShards = *cfg.CacheShards
+		}
+		if n := opts.CacheShards; n < 0 || n&(n-1) != 0 {
+			return Options{}, fmt.Errorf("core: cache_shards %d must be a power of two", n)
+		}
 	}
 	if err := opts.Machine.Validate(); err != nil {
 		return Options{}, err

@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/buffercache"
+	"repro/internal/fsim"
 )
 
 func TestDefaultOptionsValid(t *testing.T) {
@@ -58,11 +61,53 @@ func TestLoadOptionsRejects(t *testing.T) {
 		{"negative base", `{"base_seconds": -1}`},
 		{"bad json", `{`},
 		{"bad trace", `{"trace_requests": -5}`},
+		{"non-power-of-two shards", `{"cache_shards": 6}`},
+		{"negative shards", `{"cache_shards": -2}`},
 	}
 	for _, tc := range cases {
 		if _, err := LoadOptions(strings.NewReader(tc.cfg)); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+func TestLoadOptionsCacheShards(t *testing.T) {
+	opts, err := LoadOptions(strings.NewReader(`{"cache_shards": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.CacheShards != 8 {
+		t.Fatalf("CacheShards = %d, want 8", opts.CacheShards)
+	}
+	// Explicit 0 asks for the machine-derived stripe count.
+	opts, err = LoadOptions(strings.NewReader(`{"cache_shards": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.CacheShards != buffercache.AutoShards() {
+		t.Fatalf("CacheShards = %d, want AutoShards %d", opts.CacheShards, buffercache.AutoShards())
+	}
+}
+
+func TestSetOptionsCacheShardsReachStores(t *testing.T) {
+	defer SetOptions(DefaultOptions())
+	opts := DefaultOptions()
+	opts.CacheShards = 8
+	SetOptions(opts)
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Cache().NumShards(); got != 8 {
+		t.Fatalf("store built under CacheShards=8 has %d shards", got)
+	}
+	SetOptions(DefaultOptions())
+	store, err = fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Cache().NumShards(); got != 1 {
+		t.Fatalf("store after reset has %d shards, want 1", got)
 	}
 }
 

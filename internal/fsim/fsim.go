@@ -100,6 +100,17 @@ type Config struct {
 	RAIDLevel simdisk.Level
 }
 
+// ShardedConfig is DefaultConfig with the page cache lock-striped for the
+// machine (buffercache.AutoShards stripes): the configuration for
+// concurrent replay and serving. Single-threaded paper-fidelity runs keep
+// DefaultConfig, whose single stripe reproduces the original global-mutex
+// cache exactly.
+func ShardedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cache.Shards = buffercache.AutoShards()
+	return cfg
+}
+
 // DefaultConfig returns the trace-replay calibration: memory-backed
 // storage, 4 KB pages, 64 MB cache, light software-path costs.
 func DefaultConfig() Config {
@@ -162,14 +173,21 @@ func (m *fileMeta) length() int64 {
 	return int64(len(m.data))
 }
 
-// FileStore is the simulated Store.
+// FileStore is the simulated Store. Metadata lives under a read-write
+// lock: operations that only read file contents and metadata (Read, Seek,
+// Size, Close) take the shared side, so concurrent readers — the
+// goroutine-per-process trace replays and the web server's connection
+// handlers — reach the lock-striped page cache in parallel instead of
+// serializing on the store. Mutating operations (Create, Open's handle
+// bookkeeping, Write, Remove) take the exclusive side. The cache, disk
+// array, and virtual clock are internally synchronized.
 type FileStore struct {
 	cfg   Config
 	clk   *clock.VirtualClock
 	cache *buffercache.Cache
 	array *simdisk.Array
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	files     map[string]*fileMeta
 	nextBase  int64
 	extentGap int64
@@ -321,16 +339,16 @@ func (s *FileStore) Remove(name string) (time.Duration, error) {
 
 // Exists reports whether name exists.
 func (s *FileStore) Exists(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.files[name]
 	return ok
 }
 
 // Names returns the sorted file names.
 func (s *FileStore) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.files))
 	for name := range s.files {
 		out = append(out, name)
@@ -355,8 +373,8 @@ func (f *simFile) Name() string { return f.meta.name }
 
 // Size returns the file length.
 func (f *simFile) Size() int64 {
-	f.store.mu.Lock()
-	defer f.store.mu.Unlock()
+	f.store.mu.RLock()
+	defer f.store.mu.RUnlock()
 	return f.meta.length()
 }
 
@@ -365,8 +383,8 @@ func (f *simFile) Read(p []byte) (int, time.Duration, error) {
 	if f.closed {
 		return 0, 0, ErrClosed
 	}
-	f.store.mu.Lock()
-	defer f.store.mu.Unlock()
+	f.store.mu.RLock()
+	defer f.store.mu.RUnlock()
 	size := f.meta.length()
 	if f.pos >= size {
 		return 0, 0, io.EOF
@@ -439,8 +457,8 @@ func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error)
 	if f.closed {
 		return 0, 0, ErrClosed
 	}
-	f.store.mu.Lock()
-	defer f.store.mu.Unlock()
+	f.store.mu.RLock()
+	defer f.store.mu.RUnlock()
 	var target int64
 	switch whence {
 	case io.SeekStart:
@@ -476,8 +494,8 @@ func (f *simFile) Close() (time.Duration, error) {
 	if f.closed {
 		return 0, ErrClosed
 	}
-	f.store.mu.Lock()
-	defer f.store.mu.Unlock()
+	f.store.mu.RLock()
+	defer f.store.mu.RUnlock()
 	f.closed = true
 	now := f.store.clk.Now()
 	done := now.Add(f.store.cfg.CloseCost)

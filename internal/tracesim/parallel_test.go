@@ -1,0 +1,97 @@
+package tracesim
+
+import (
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/tracegen"
+)
+
+// parallelParams keeps the concurrent-replay tests quick while still
+// spanning enough of the sample file to cross cache shards.
+func parallelParams() tracegen.Params {
+	p := tracegen.DefaultParams()
+	p.FileSize = 32 << 20
+	p.Requests = 200
+	return p
+}
+
+// TestReplayConcurrentShardedCache replays the four-worker Pgrep trace
+// with one goroutine per traced process against a lock-striped store —
+// the end-to-end concurrent path. Run under -race this is the wiring
+// test for the sharded cache behind fsim; the assertions check that the
+// merged report still accounts for every traced operation and that the
+// cache's global bookkeeping survives the concurrency.
+func TestReplayConcurrentShardedCache(t *testing.T) {
+	params := parallelParams()
+	tr, err := tracegen.Pgrep(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := fsim.MustNewFileStore(fsim.ShardedConfig())
+	if store.Cache().NumShards() < 4 {
+		t.Fatalf("sharded store has %d stripes, want >= 4", store.Cache().NumShards())
+	}
+	rp := NewReplayer(store)
+	rp.SampleFileSize = params.FileSize
+	rep, err := rp.ReplayConcurrent("Pgrep", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sequential replay of the same trace on the deterministic
+	// single-stripe store fixes the expected operation counts.
+	seqStore := fsim.MustNewFileStore(fsim.DefaultConfig())
+	seqRP := NewReplayer(seqStore)
+	seqRP.SampleFileSize = params.FileSize
+	seq, err := seqRP.Replay("Pgrep", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Read.N() != seq.Read.N() || rep.Write.N() != seq.Write.N() || rep.Seek.N() != seq.Seek.N() {
+		t.Fatalf("concurrent replay lost operations: reads %d/%d writes %d/%d seeks %d/%d",
+			rep.Read.N(), seq.Read.N(), rep.Write.N(), seq.Write.N(), rep.Seek.N(), seq.Seek.N())
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("concurrent replay reported no elapsed time")
+	}
+
+	cache := store.Cache()
+	s := cache.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("sharded cache saw no traffic")
+	}
+	if got, budget := cache.ResidentPages(), cache.Config().NumPages; got > budget {
+		t.Fatalf("resident pages %d exceed budget %d", got, budget)
+	}
+	// Dirty accounting must settle: flushing retires every dirty page.
+	cache.Flush(store.Clock().Now())
+	if got := cache.DirtyPages(); got != 0 {
+		t.Fatalf("%d dirty pages survived a full flush", got)
+	}
+}
+
+// TestReplayConcurrentMixedSharded pushes the five-application mixed
+// trace (many PIDs, interleaved scans) through one sharded store — the
+// consolidation case that hammers every stripe at once.
+func TestReplayConcurrentMixedSharded(t *testing.T) {
+	params := parallelParams()
+	tr, err := tracegen.Mixed(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := fsim.MustNewFileStore(fsim.ShardedConfig())
+	rp := NewReplayer(store)
+	rp.SampleFileSize = params.FileSize
+	rep, err := rp.ReplayConcurrent("Mixed", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Read.N() + rep.Write.N() + rep.Seek.N(); n == 0 {
+		t.Fatal("mixed replay performed no data operations")
+	}
+	if got, budget := store.Cache().ResidentPages(), store.Cache().Config().NumPages; got > budget {
+		t.Fatalf("resident pages %d exceed budget %d", got, budget)
+	}
+}

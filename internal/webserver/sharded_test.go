@@ -1,0 +1,92 @@
+package webserver
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestConcurrentClientsShardedCache serves the web corpus to many
+// concurrent connections from a store whose page cache is lock-striped —
+// the §4.1 thread-per-connection server on top of the sharded cache. Run
+// under -race this is the end-to-end wiring test on the serving side:
+// every response must still carry the exact file bytes, and the cache's
+// global accounting must hold afterwards.
+func TestConcurrentClientsShardedCache(t *testing.T) {
+	store := fsim.MustNewFileStore(fsim.ShardedConfig())
+	if err := workload.Install(store, workload.WebCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	store.Cache().Invalidate()
+	rt := vm.MustNew(vm.DefaultConfig(), nil)
+	rt.RegisterBCL()
+	srv, err := New(Config{Store: store, Runtime: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	corpus := workload.WebCorpus()
+	const clients = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			for r := 0; r < rounds; r++ {
+				idx := (i + r) % len(corpus)
+				spec := corpus[idx]
+				resp, err := cl.Get(spec.Name)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if resp.Status != 200 {
+					errs[i] = fmt.Errorf("GET %s -> status %d", spec.Name, resp.Status)
+					return
+				}
+				// Install seeds payloads by 1-based corpus position.
+				want := workload.Payload(uint64(idx+1), spec.Size)
+				if !bytes.Equal(resp.Body, want) {
+					errs[i] = fmt.Errorf("GET %s: body %d bytes, want %d", spec.Name, len(resp.Body), len(want))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	cache := store.Cache()
+	s := cache.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("expected cold misses then warm hits, got %+v", s)
+	}
+	if got, budget := cache.ResidentPages(), cache.Config().NumPages; got > budget {
+		t.Fatalf("resident pages %d exceed budget %d", got, budget)
+	}
+	if cache.NumShards() < 4 {
+		t.Fatalf("server ran on %d stripes, want >= 4", cache.NumShards())
+	}
+}
