@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet fmt-check ci
+.PHONY: all build test race bench bench-json fmt vet fmt-check ci
 
 all: build
 
@@ -23,6 +23,12 @@ race:
 # the harness itself (not perf) surface in CI quickly.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable bench trajectory: the shard/worker scaling and
+# write-back ablation of the simulated-parallel replay. CI uploads the
+# file as an artifact; the committed copy tracks the trajectory in-repo.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_3.json
 
 fmt:
 	gofmt -w .

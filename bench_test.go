@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -478,6 +479,48 @@ func BenchmarkConcurrentReplay(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSimulatedParallel is the virtual-time scaling trajectory:
+// the n-worker partitioned workload replayed concurrently on an
+// 8-stripe write-back store, one virtual-clock lane per worker. The
+// headline metric is simulated throughput (operations per simulated
+// second): per-worker lanes overlap, so it scales with workers, where
+// the old shared clock kept it flat. overlap-x is WorkerTime/Elapsed,
+// the simulated-parallel speedup; both are deterministic run to run.
+func BenchmarkSimulatedParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			params := tracegen.Params{
+				SampleFile: "sample.dat", FileSize: 32 << 20,
+				Requests: 256, Workers: workers,
+			}
+			tr, err := tracegen.Parallel(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				cfg := fsim.DefaultConfig()
+				cfg.Cache.Shards = 8
+				cfg.Cache.WritebackThreshold = 8
+				cfg.Cache.WritebackPolicy = simdisk.SSTF
+				store, err := fsim.NewFileStore(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rp := tracesim.NewReplayer(store)
+				rp.SampleFileSize = params.FileSize
+				rep, err := rp.ReplayConcurrent("Parallel", tr)
+				store.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops := float64(rep.Read.N() + rep.Write.N() + rep.Seek.N())
+				b.ReportMetric(ops/rep.Elapsed.Seconds(), "sim-ops/sec")
+				b.ReportMetric(float64(rep.WorkerTime)/float64(rep.Elapsed), "overlap-x")
+			}
+		})
+	}
 }
 
 // BenchmarkAblationRAID replays the write-heavy LU trace over RAID-0,

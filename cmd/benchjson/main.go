@@ -1,0 +1,188 @@
+// Benchjson emits the shard-scaling and write-back benchmark results as
+// machine-readable JSON — the bench trajectory artifact (`make
+// bench-json` writes BENCH_3.json, and CI uploads it). Two sections:
+//
+//   - worker_scaling: the n-worker partitioned replay on an 8-stripe
+//     write-back store, one virtual-clock lane per worker. Simulated
+//     throughput (operations per simulated second) scales with workers
+//     because lanes overlap; sim_speedup_vs_1 is the headline number.
+//   - writeback_ablation: the same 8-worker replay with write-back off
+//     (flush on close) versus on under each disk scheduling policy,
+//     reporting where the flush time went.
+//
+// The worker_scaling simulated quantities are deterministic run to run
+// (each lane is a pure function of its worker's record sequence).
+// wall_ns varies with the host, and writeback_batches /
+// writeback_horizon_ns depend on when the flusher goroutines wake
+// relative to the writers, so they can differ across hosts too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/simdisk"
+	"repro/internal/tracegen"
+	"repro/internal/tracesim"
+)
+
+type scalingRow struct {
+	Workers          int     `json:"workers"`
+	Shards           int     `json:"shards"`
+	Records          int     `json:"records"`
+	WallNS           int64   `json:"wall_ns"`
+	SimElapsedNS     int64   `json:"sim_elapsed_ns"`
+	WorkerTimeNS     int64   `json:"worker_time_ns"`
+	OverlapX         float64 `json:"overlap_x"`
+	SimThroughputOps float64 `json:"sim_throughput_ops_per_sec"`
+	SimSpeedupVs1    float64 `json:"sim_speedup_vs_1"`
+}
+
+type ablationRow struct {
+	Writeback          bool    `json:"writeback"`
+	Policy             string  `json:"policy"`
+	SimElapsedNS       int64   `json:"sim_elapsed_ns"`
+	CloseMeanMS        float64 `json:"close_mean_ms"`
+	WritebackBatches   int64   `json:"writeback_batches"`
+	WritebackPages     int64   `json:"writeback_pages"`
+	WritebackHorizonNS int64   `json:"writeback_horizon_ns"`
+}
+
+type report struct {
+	Bench             string        `json:"bench"`
+	GeneratedBy       string        `json:"generated_by"`
+	TraceApp          string        `json:"trace_app"`
+	FileSize          int64         `json:"file_size_bytes"`
+	Requests          int           `json:"requests"`
+	WorkerScaling     []scalingRow  `json:"worker_scaling"`
+	WritebackAblation []ablationRow `json:"writeback_ablation"`
+}
+
+func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, fileSize int64, requests int) (*tracesim.Report, *fsim.FileStore, time.Duration, error) {
+	params := tracegen.Params{
+		SampleFile: "sample.dat", FileSize: fileSize,
+		Requests: requests, Workers: workers,
+	}
+	tr, err := tracegen.Parallel(params)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := fsim.DefaultConfig()
+	cfg.Cache.Shards = shards
+	cfg.Cache.WritebackThreshold = writeback
+	cfg.Cache.WritebackPolicy = policy
+	store, err := fsim.NewFileStore(cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rp := tracesim.NewReplayer(store)
+	rp.SampleFileSize = fileSize
+	start := time.Now()
+	rep, err := rp.ReplayConcurrent("Parallel", tr)
+	wall := time.Since(start)
+	if err != nil {
+		store.Close()
+		return nil, nil, 0, err
+	}
+	return rep, store, wall, nil
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_3.json", "output path (\"-\" for stdout)")
+		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
+		requests = flag.Int("requests", 256, "total reads across workers")
+	)
+	flag.Parse()
+
+	const shards = 8
+	const threshold = 8
+	rep := report{
+		Bench:       "simulated-parallel-replay",
+		GeneratedBy: "make bench-json",
+		TraceApp:    "Parallel",
+		FileSize:    *fileSize,
+		Requests:    *requests,
+	}
+
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		r, store, wall, err := replay(workers, shards, threshold, simdisk.SSTF, *fileSize, *requests)
+		if err != nil {
+			fatal(err)
+		}
+		store.Close()
+		ops := float64(r.Read.N() + r.Write.N() + r.Seek.N())
+		throughput := ops / r.Elapsed.Seconds()
+		if workers == 1 {
+			base = throughput
+		}
+		rep.WorkerScaling = append(rep.WorkerScaling, scalingRow{
+			Workers:          workers,
+			Shards:           shards,
+			Records:          int(ops),
+			WallNS:           wall.Nanoseconds(),
+			SimElapsedNS:     r.Elapsed.Nanoseconds(),
+			WorkerTimeNS:     r.WorkerTime.Nanoseconds(),
+			OverlapX:         float64(r.WorkerTime) / float64(r.Elapsed),
+			SimThroughputOps: throughput,
+			SimSpeedupVs1:    throughput / base,
+		})
+	}
+
+	ablations := []struct {
+		writeback int
+		policy    simdisk.SchedPolicy
+	}{
+		{0, simdisk.FCFS},
+		{threshold, simdisk.FCFS},
+		{threshold, simdisk.SSTF},
+		{threshold, simdisk.SCAN},
+	}
+	for _, ab := range ablations {
+		r, store, _, err := replay(8, shards, ab.writeback, ab.policy, *fileSize, *requests)
+		if err != nil {
+			fatal(err)
+		}
+		st := store.Cache().Stats()
+		row := ablationRow{
+			Writeback:        ab.writeback > 0,
+			Policy:           ab.policy.String(),
+			SimElapsedNS:     r.Elapsed.Nanoseconds(),
+			CloseMeanMS:      r.Close.Mean(),
+			WritebackBatches: st.WritebackBatches,
+			WritebackPages:   st.WritebackPages,
+		}
+		if h := store.Cache().WritebackHorizon(); !h.IsZero() {
+			row.WritebackHorizonNS = h.Sub(store.Timeline().Start()).Nanoseconds()
+		}
+		if ab.writeback == 0 {
+			row.Policy = "off"
+		}
+		store.Close()
+		rep.WritebackAblation = append(rep.WritebackAblation, row)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 //	tracebench -tables            # regenerate Tables 1-4
 //	tracebench -app Pgrep -concurrent -shards 0   # striped cache, auto
 //	tracebench -app Mixed -sweep                  # shard scaling sweep
+//	tracebench -app Parallel -workers 8 -concurrent -shards 8 -writeback 8 -sched sstf
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
+	"repro/internal/simdisk"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/tracesim"
@@ -42,10 +44,19 @@ func main() {
 		paced      = flag.Bool("paced", false, "honour the trace's wall-clock stamps as think time")
 		shards     = flag.Int("shards", 1, "page-cache lock stripes (power of two); 0 = derive from GOMAXPROCS")
 		sweep      = flag.Bool("sweep", false, "replay concurrently at shard counts 1,2,4,...,auto and report scaling")
+		workers    = flag.Int("workers", 0, "worker processes for -app Parallel (0 = its default)")
+		writeback  = flag.Int("writeback", 0, "background write-back threshold in dirty pages per stripe (0 = flush on close)")
+		wbBatch    = flag.Int("writeback-batch", 0, "pages per scheduled write-back drain (0 = whole dirty set)")
+		sched      = flag.String("sched", "fcfs", "write-back disk scheduling policy: fcfs | sstf | scan")
 	)
 	flag.Parse()
 
-	params := tracegen.Params{SampleFile: "sample-1gb.dat", FileSize: *fileSize, Requests: *requests}
+	policy, err := simdisk.ParsePolicy(*sched)
+	if err != nil {
+		fatal(err)
+	}
+
+	params := tracegen.Params{SampleFile: "sample-1gb.dat", FileSize: *fileSize, Requests: *requests, Workers: *workers}
 
 	if *tables {
 		tbs, _, err := tracesim.AllTables(params)
@@ -72,6 +83,15 @@ func main() {
 			fatal(err)
 		}
 		name = *tracePath
+	case *app == "Parallel":
+		// The n-worker partitioned workload: the simulated-parallel
+		// scaling subject (disjoint regions, per-worker opens).
+		var err error
+		tr, err = tracegen.Parallel(params)
+		if err != nil {
+			fatal(err)
+		}
+		name = *app
 	case *app == "Mixed":
 		// The five applications interleaved through one cache — the
 		// consolidation workload, and the natural -sweep subject.
@@ -105,7 +125,7 @@ func main() {
 		if *real {
 			fatal(fmt.Errorf("-sweep replays against the simulator; drop -real"))
 		}
-		if err := sweepShards(name, tr, *fileSize, *paced); err != nil {
+		if err := sweepShards(name, tr, *fileSize, *paced, *writeback, policy); err != nil {
 			fatal(err)
 		}
 		return
@@ -130,10 +150,14 @@ func main() {
 	} else {
 		cfg := fsim.DefaultConfig()
 		cfg.Cache.Shards = resolveShards(*shards)
+		cfg.Cache.WritebackThreshold = *writeback
+		cfg.Cache.WritebackBatch = *wbBatch
+		cfg.Cache.WritebackPolicy = policy
 		s, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		defer s.Close()
 		store = s
 	}
 
@@ -141,7 +165,6 @@ func main() {
 	rp.SampleFileSize = *fileSize
 	rp.Paced = *paced
 	var rep *tracesim.Report
-	var err error
 	if *concurrent {
 		rep, err = rp.ReplayConcurrent(name, tr)
 	} else {
@@ -151,7 +174,24 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(rep.Table().Render())
-	fmt.Printf("replayed %d records in %v (simulated I/O time)\n", len(tr.Records), rep.Elapsed)
+	fmt.Printf("replayed %d records in %v (simulated elapsed time)\n", len(tr.Records), rep.Elapsed)
+	if *concurrent && rep.WorkerTime > rep.Elapsed {
+		fmt.Printf("worker time %v overlapped %.2fx across lanes\n",
+			rep.WorkerTime, float64(rep.WorkerTime)/float64(rep.Elapsed))
+	}
+	if fs, ok := store.(*fsim.FileStore); ok && fs.Cache().WritebackEnabled() {
+		// Quiesce the flushers before reading their counters: serial
+		// replay does not settle on its own, and in-flight drains would
+		// otherwise race the print (and leave sub-threshold residue dirty).
+		fs.Settle()
+		st := fs.Cache().Stats()
+		horizon := time.Duration(0)
+		if h := fs.Cache().WritebackHorizon(); !h.IsZero() {
+			horizon = h.Sub(fs.Timeline().Start())
+		}
+		fmt.Printf("write-back: %d pages in %d scheduled batches, horizon %v\n",
+			st.WritebackPages, st.WritebackBatches, horizon)
+	}
 	if *perReq {
 		for _, r := range rep.Requests {
 			fmt.Printf("  #%-4d %-5s size=%-10d seek=%.6f ms read=%.6f ms write=%.6f ms\n",
@@ -171,16 +211,19 @@ func resolveShards(n int) int {
 
 // sweepShards replays the trace concurrently once per shard count from 1
 // (the single-mutex baseline) doubling up to the machine-derived stripe
-// count, and prints wall-clock scaling alongside the simulated elapsed
-// time — the lock-striping ablation as a command.
-func sweepShards(name string, tr *trace.Trace, fileSize int64, paced bool) error {
+// count, and prints wall-clock scaling alongside the simulated-parallel
+// numbers: elapsed (max over lanes), summed worker time, and the overlap
+// factor — the lock-striping + virtual-time ablation as a command.
+func sweepShards(name string, tr *trace.Trace, fileSize int64, paced bool, writeback int, policy simdisk.SchedPolicy) error {
 	max := buffercache.AutoShards()
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "shards\twall time\tspeedup\tsimulated I/O\tcache hit rate")
+	fmt.Fprintln(w, "shards\twall time\tspeedup\tsim elapsed\tworker time\toverlap\tcache hit rate")
 	var baseline time.Duration
 	for n := 1; n <= max; n *= 2 {
 		cfg := fsim.DefaultConfig()
 		cfg.Cache.Shards = n
+		cfg.Cache.WritebackThreshold = writeback
+		cfg.Cache.WritebackPolicy = policy
 		store, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			return err
@@ -194,12 +237,18 @@ func sweepShards(name string, tr *trace.Trace, fileSize int64, paced bool) error
 			return err
 		}
 		wall := time.Since(start)
+		store.Close()
 		if n == 1 {
 			baseline = wall
 		}
 		speedup := float64(baseline) / float64(wall)
-		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%v\t%.1f%%\n",
+		overlap := 1.0
+		if rep.Elapsed > 0 {
+			overlap = float64(rep.WorkerTime) / float64(rep.Elapsed)
+		}
+		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%v\t%v\t%.2fx\t%.1f%%\n",
 			n, wall.Round(time.Microsecond), speedup, rep.Elapsed.Round(time.Microsecond),
+			rep.WorkerTime.Round(time.Microsecond), overlap,
 			store.Cache().Stats().HitRate()*100)
 	}
 	return w.Flush()

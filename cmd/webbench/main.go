@@ -7,6 +7,7 @@
 //	webbench -mode tables
 //	webbench -mode serve -addr :5050
 //	webbench -mode serve -shards 0        # lock-striped page cache, auto
+//	webbench -mode serve -lanes -writeback 8 -sched scan   # per-connection lanes
 //	webbench -mode load -target 127.0.0.1:5050 -clients 8 -requests 100
 package main
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
 	"repro/internal/metrics"
+	"repro/internal/simdisk"
 	"repro/internal/vm"
 	"repro/internal/webserver"
 	"repro/internal/workload"
@@ -28,13 +30,16 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "tables", "tables | serve | load")
-		addr     = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "listen address for serve mode")
-		target   = flag.String("target", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "server address for load mode")
-		clients  = flag.Int("clients", 4, "concurrent clients in load mode")
-		requests = flag.Int("requests", 50, "requests per client in load mode")
-		posts    = flag.Bool("posts", false, "mix POSTs into the load")
-		shards   = flag.Int("shards", 1, "page-cache lock stripes for serve mode (power of two); 0 = derive from GOMAXPROCS")
+		mode      = flag.String("mode", "tables", "tables | serve | load")
+		addr      = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "listen address for serve mode")
+		target    = flag.String("target", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "server address for load mode")
+		clients   = flag.Int("clients", 4, "concurrent clients in load mode")
+		requests  = flag.Int("requests", 50, "requests per client in load mode")
+		posts     = flag.Bool("posts", false, "mix POSTs into the load")
+		shards    = flag.Int("shards", 1, "page-cache lock stripes for serve mode (power of two); 0 = derive from GOMAXPROCS")
+		lanes     = flag.Bool("lanes", false, "serve mode: give every connection its own virtual-time session")
+		writeback = flag.Int("writeback", 0, "serve mode: background write-back threshold in dirty pages per stripe (0 = off)")
+		sched     = flag.String("sched", "fcfs", "serve mode: write-back scheduling policy: fcfs | sstf | scan")
 	)
 	flag.Parse()
 
@@ -42,7 +47,7 @@ func main() {
 	case "tables":
 		runTables()
 	case "serve":
-		runServe(*addr, *shards)
+		runServe(*addr, *shards, *lanes, *writeback, *sched)
 	case "load":
 		runLoad(*target, *clients, *requests, *posts)
 	default:
@@ -69,16 +74,23 @@ func runTables() {
 	fmt.Println(fig.RenderLines(44, 10))
 }
 
-func runServe(addr string, shards int) {
+func runServe(addr string, shards int, lanes bool, writeback int, sched string) {
 	cfg := fsim.DefaultConfig()
 	if shards == 0 {
 		shards = buffercache.AutoShards()
 	}
 	cfg.Cache.Shards = shards
+	policy, err := simdisk.ParsePolicy(sched)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Cache.WritebackThreshold = writeback
+	cfg.Cache.WritebackPolicy = policy
 	store, err := fsim.NewFileStore(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	defer store.Close()
 	if err := workload.Install(store, workload.WebCorpus()); err != nil {
 		fatal(err)
 	}
@@ -87,7 +99,7 @@ func runServe(addr string, shards int) {
 		fatal(err)
 	}
 	rt.RegisterBCL()
-	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt})
+	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt, Lanes: lanes})
 	if err != nil {
 		fatal(err)
 	}
@@ -95,8 +107,12 @@ func runServe(addr string, shards int) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving benchmark corpus on %s with %d cache stripes (ctrl-c to stop)\n",
-		bound, store.Cache().NumShards())
+	mode := "shared clock"
+	if lanes {
+		mode = "per-connection lanes"
+	}
+	fmt.Printf("serving benchmark corpus on %s with %d cache stripes, %s (ctrl-c to stop)\n",
+		bound, store.Cache().NumShards(), mode)
 	for _, spec := range workload.WebCorpus() {
 		fmt.Printf("  GET /%s  (%d bytes)\n", spec.Name, spec.Size)
 	}

@@ -64,12 +64,56 @@ type Config struct {
 	// Zero takes AutoShards(), the GOMAXPROCS-derived default. One shard
 	// reproduces the original global-mutex cache bit for bit.
 	Shards int
+	// WritebackThreshold enables background write-back: when a stripe's
+	// dirty set reaches this many pages, the stripe's flusher goroutine
+	// drains it through the backend's command queue on the stripe's own
+	// virtual-time lane. Zero (the default) disables write-back: dirty
+	// pages wait for eviction or an explicit flush, the paper's
+	// flush-on-close behavior.
+	WritebackThreshold int
+	// WritebackBatch caps how many pages one drain submits to the disk
+	// queue; zero means the whole dirty set.
+	WritebackBatch int
+	// WritebackPolicy orders each write-back batch (FCFS, SSTF, SCAN)
+	// when the backend supports batch scheduling.
+	WritebackPolicy simdisk.SchedPolicy
 }
 
 // defaultShards is the process-wide shard count DefaultConfig hands out:
 // 1 (the paper's deterministic single-stripe configuration) unless
 // SetDefaultShards raised it.
 var defaultShards atomic.Int32
+
+// defaultWriteback / defaultWritebackPolicy are the process-wide
+// write-back settings DefaultConfig hands out: off (threshold 0) unless
+// SetDefaultWriteback enabled it. The core options registry sets these
+// for the writeback / sched_policy config keys.
+var (
+	defaultWriteback       atomic.Int32
+	defaultWritebackBatch  atomic.Int32
+	defaultWritebackPolicy atomic.Int32
+)
+
+// SetDefaultWriteback sets the write-back threshold, per-drain batch
+// cap (0 = unbounded), and scheduling policy DefaultConfig bakes into
+// the configurations it returns; threshold 0 restores
+// flush-on-close-only. Call once at startup; it is not safe to race
+// with running experiments.
+func SetDefaultWriteback(threshold, batch int, policy simdisk.SchedPolicy) error {
+	if threshold < 0 {
+		return fmt.Errorf("buffercache: default write-back threshold %d must be non-negative", threshold)
+	}
+	if batch < 0 {
+		return fmt.Errorf("buffercache: default write-back batch %d must be non-negative", batch)
+	}
+	if !policy.Valid() {
+		return fmt.Errorf("buffercache: invalid default scheduling policy %v", policy)
+	}
+	defaultWriteback.Store(int32(threshold))
+	defaultWritebackBatch.Store(int32(batch))
+	defaultWritebackPolicy.Store(int32(policy))
+	return nil
+}
 
 // AutoShards returns the GOMAXPROCS-derived shard count: the smallest
 // power of two covering twice the processor count, clamped to [4, 256] so
@@ -106,13 +150,16 @@ func DefaultConfig() Config {
 		shards = 1
 	}
 	return Config{
-		PageSize:      4 << 10,
-		NumPages:      4096,
-		PrefetchPages: 8,
-		WriteBehind:   true,
-		MemCopyRate:   1 << 30,
-		HitOverhead:   time.Microsecond,
-		Shards:        shards,
+		PageSize:           4 << 10,
+		NumPages:           4096,
+		PrefetchPages:      8,
+		WriteBehind:        true,
+		MemCopyRate:        1 << 30,
+		HitOverhead:        time.Microsecond,
+		Shards:             shards,
+		WritebackThreshold: int(defaultWriteback.Load()),
+		WritebackBatch:     int(defaultWritebackBatch.Load()),
+		WritebackPolicy:    simdisk.SchedPolicy(defaultWritebackPolicy.Load()),
 	}
 }
 
@@ -140,20 +187,28 @@ func (c Config) Validate() error {
 		return fmt.Errorf("buffercache: hit overhead %v must be non-negative", c.HitOverhead)
 	case c.Shards < 0 || (c.Shards > 0 && c.Shards&(c.Shards-1) != 0):
 		return fmt.Errorf("buffercache: shards %d must be a power of two", c.Shards)
+	case c.WritebackThreshold < 0:
+		return fmt.Errorf("buffercache: write-back threshold %d must be non-negative", c.WritebackThreshold)
+	case c.WritebackBatch < 0:
+		return fmt.Errorf("buffercache: write-back batch %d must be non-negative", c.WritebackBatch)
+	case !c.WritebackPolicy.Valid():
+		return fmt.Errorf("buffercache: invalid scheduling policy %v", c.WritebackPolicy)
 	}
 	return nil
 }
 
 // Stats counts cache activity.
 type Stats struct {
-	Hits          int64
-	Misses        int64
-	PrefetchedIn  int64 // pages brought in by read-ahead
-	PrefetchHits  int64 // hits on pages that read-ahead brought in
-	Evictions     int64
-	DirtyFlushes  int64 // pages written back (eviction or Flush)
-	BytesFromDisk int64
-	BytesToDisk   int64
+	Hits             int64
+	Misses           int64
+	PrefetchedIn     int64 // pages brought in by read-ahead
+	PrefetchHits     int64 // hits on pages that read-ahead brought in
+	Evictions        int64
+	DirtyFlushes     int64 // pages written back (eviction, Flush, or write-back)
+	WritebackPages   int64 // pages retired by the background flushers
+	WritebackBatches int64 // scheduled drains the flushers submitted
+	BytesFromDisk    int64
+	BytesToDisk      int64
 }
 
 // add accumulates other into s.
@@ -164,6 +219,8 @@ func (s *Stats) add(other Stats) {
 	s.PrefetchHits += other.PrefetchHits
 	s.Evictions += other.Evictions
 	s.DirtyFlushes += other.DirtyFlushes
+	s.WritebackPages += other.WritebackPages
+	s.WritebackBatches += other.WritebackBatches
 	s.BytesFromDisk += other.BytesFromDisk
 	s.BytesToDisk += other.BytesToDisk
 }
@@ -182,6 +239,65 @@ func (s Stats) HitRate() float64 {
 // operating systems.
 const streamTails = 4
 
+// IO is a per-stream I/O context: the backend view misses and
+// write-backs are charged against, plus this stream's read-ahead
+// detection state. The cache's default context uses the cache's own
+// backend and is what the plain Read/Write/Flush methods run on —
+// bit-identical to the pre-context cache. Independent virtual-time
+// sessions (fsim.Session) carry their own IO so their disk timing and
+// sequential-stream detection never leak across lanes.
+type IO struct {
+	backend Backend
+
+	// tails holds the last page of several recent read streams, so that
+	// interleaved sequential scans (one per file or region, as the
+	// Cholesky and multi-pass Dmine traces produce) each keep their
+	// read-ahead detection. The slots are atomics rather than a mutex so
+	// stream detection never serializes the striped hit path; under
+	// concurrency a race can only mis-detect sequentiality, never corrupt
+	// state.
+	tails    [streamTails]atomic.Int64
+	nextTail atomic.Uint32
+}
+
+// DefaultIO returns the cache's own I/O context, the one the plain
+// Read/Write/Flush methods run on.
+func (c *Cache) DefaultIO() *IO { return c.defIO }
+
+// NewIO returns a fresh I/O context over backend (nil means the cache's
+// own backend): untracked streams, independent miss accounting target.
+func (c *Cache) NewIO(backend Backend) *IO {
+	if backend == nil {
+		backend = c.backend
+	}
+	io := &IO{backend: backend}
+	io.reset()
+	return io
+}
+
+// reset clears the stream-tail slots to the never-adjacent sentinel.
+func (io *IO) reset() {
+	for i := range io.tails {
+		io.tails[i].Store(-2) // never adjacent to a real first access
+	}
+}
+
+// noteRead records a read ending at page last and reports whether the
+// read starting at page first continued one of the tracked streams.
+func (io *IO) noteRead(first, last int64) bool {
+	for i := range io.tails {
+		t := io.tails[i].Load()
+		if first == t+1 || first == t {
+			io.tails[i].Store(last)
+			return true
+		}
+	}
+	// New stream: replace the oldest slot.
+	i := (io.nextTail.Add(1) - 1) % streamTails
+	io.tails[i].Store(last)
+	return false
+}
+
 // Cache is the page cache. It is safe for concurrent use.
 type Cache struct {
 	cfg     Config
@@ -197,15 +313,16 @@ type Cache struct {
 	pool   []*frame
 	used   atomic.Int64
 
-	// tails holds the last page of several recent read streams, so that
-	// interleaved sequential scans (one per file or region, as the
-	// Cholesky and multi-pass Dmine traces produce) each keep their
-	// read-ahead detection. The slots are atomics rather than a mutex so
-	// stream detection never serializes the striped hit path; under
-	// concurrency a race can only mis-detect sequentiality, never corrupt
-	// state.
-	tails    [streamTails]atomic.Int64
-	nextTail atomic.Uint32
+	// defIO is the context the plain (non-IO) methods run on.
+	defIO *IO
+
+	// wb is the background write-back subsystem; nil when disabled.
+	// wbBackend is the disk view its drains are timed against — the
+	// cache's own backend unless SetWritebackBackend installed a private
+	// view (fsim does, so background flushing never perturbs foreground
+	// disk timing: the lanes are independent by construction).
+	wb        *writeback
+	wbBackend Backend
 }
 
 // New builds a cache over backend. It returns an error for an invalid
@@ -235,14 +352,39 @@ func New(cfg Config, backend Backend) (*Cache, error) {
 	for i := range c.shards {
 		c.shards[i] = &shard{resident: make(map[int64]*frame, cfg.NumPages/nShards+1)}
 	}
-	for i := range c.tails {
-		c.tails[i].Store(-2) // never adjacent to a real first access
-	}
+	c.defIO = c.NewIO(backend)
+	c.wbBackend = backend
 	for i := 0; i < cfg.NumPages; i++ {
 		c.pool = append(c.pool, &frame{page: -1})
 	}
+	if cfg.WritebackThreshold > 0 {
+		c.wb = newWriteback(c)
+	}
 	return c, nil
 }
+
+// SetWritebackBackend installs the disk view background write-back is
+// timed against. Call it once right after New, before any traffic:
+// giving the flushers their own view keeps foreground disk timing
+// deterministic — background drains overlap the foreground instead of
+// queueing on its busy horizon.
+func (c *Cache) SetWritebackBackend(be Backend) {
+	if be != nil {
+		c.wbBackend = be
+	}
+}
+
+// Close stops the background flusher goroutines, if any. A cache built
+// without write-back has nothing to stop; Close is then a no-op, so it
+// is always safe (and idempotent) to call.
+func (c *Cache) Close() {
+	if c.wb != nil {
+		c.wb.stopAll()
+	}
+}
+
+// WritebackEnabled reports whether background write-back is on.
+func (c *Cache) WritebackEnabled() bool { return c.wb != nil }
 
 // MustNew is New that panics on error, for literal wiring in tools/tests.
 func MustNew(cfg Config, backend Backend) *Cache {
@@ -264,22 +406,6 @@ func (c *Cache) shardOf(page int64) *shard {
 func (c *Cache) shardIndex(page int64) int {
 	h := uint64(page) * 0x9E3779B97F4A7C15
 	return int(h >> (64 - c.shardShift))
-}
-
-// noteRead records a read ending at page last and reports whether the
-// read starting at page first continued one of the tracked streams.
-func (c *Cache) noteRead(first, last int64) bool {
-	for i := range c.tails {
-		t := c.tails[i].Load()
-		if first == t+1 || first == t {
-			c.tails[i].Store(last)
-			return true
-		}
-	}
-	// New stream: replace the oldest slot.
-	i := (c.nextTail.Add(1) - 1) % streamTails
-	c.tails[i].Store(last)
-	return false
 }
 
 // Config returns the cache configuration.
@@ -340,12 +466,17 @@ func (c *Cache) copyCost(n int64) time.Duration {
 	return c.cfg.HitOverhead + time.Duration(float64(n)/c.cfg.MemCopyRate*float64(time.Second))
 }
 
-// Read simulates reading [offset, offset+length). It returns the
-// completion time and the elapsed duration. Resident pages cost memory
-// copies; missing pages are fetched from the backend in contiguous runs,
-// optionally extended by the read-ahead window when the access pattern is
-// sequential.
+// Read simulates reading [offset, offset+length) on the cache's default
+// I/O context. It returns the completion time and the elapsed duration.
 func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Duration) {
+	return c.ReadIO(c.defIO, now, offset, length)
+}
+
+// ReadIO simulates reading [offset, offset+length) on io's backend view
+// and stream state. Resident pages cost memory copies; missing pages are
+// fetched from the backend in contiguous runs, optionally extended by
+// the read-ahead window when the access pattern is sequential.
+func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	if length < 0 {
 		length = 0
 	}
@@ -356,7 +487,7 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 		return d, d.Sub(now)
 	}
 
-	sequential := c.noteRead(first, last)
+	sequential := io.noteRead(first, last)
 
 	// Walk the page range, coalescing misses into contiguous disk runs.
 	page := first
@@ -380,13 +511,13 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 		rs.stats.Misses += nDemand
 		rs.stats.BytesFromDisk += nDemand * c.cfg.PageSize
 		rs.mu.Unlock()
-		diskDone, _ := c.backend.Access(done, simdisk.Request{
+		diskDone, _ := io.backend.Access(done, simdisk.Request{
 			Offset: runStart * c.cfg.PageSize,
 			Length: nDemand * c.cfg.PageSize,
 		})
 		done = diskDone
 		for p := runStart; p <= runEnd; p++ {
-			c.installPage(done, p, false, false, false)
+			c.installPage(io, done, p, false, false, false)
 		}
 		// Asynchronous read-ahead: queue the next window behind the
 		// demand fetch. It occupies the disk but is not charged to this
@@ -394,13 +525,13 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 		if sequential && c.cfg.PrefetchPages > 0 {
 			pfStart := runEnd + 1
 			pfEnd := runEnd + int64(c.cfg.PrefetchPages)
-			c.backend.Access(diskDone, simdisk.Request{
+			io.backend.Access(diskDone, simdisk.Request{
 				Offset: pfStart * c.cfg.PageSize,
 				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
 			})
 			var brought int64
 			for p := pfStart; p <= pfEnd; p++ {
-				if fresh, _ := c.installPage(diskDone, p, false, true, false); fresh {
+				if fresh, _ := c.installPage(io, diskDone, p, false, true, false); fresh {
 					brought++
 				}
 			}
@@ -417,10 +548,16 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 	return done, done.Sub(now)
 }
 
-// Write simulates writing [offset, offset+length). With write-behind the
-// pages are dirtied in memory at copy cost; otherwise the data also goes
-// straight to the backend.
+// Write simulates writing [offset, offset+length) on the cache's
+// default I/O context.
 func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Duration) {
+	return c.WriteIO(c.defIO, now, offset, length)
+}
+
+// WriteIO simulates writing [offset, offset+length) on io's backend
+// view. With write-behind the pages are dirtied in memory at copy cost;
+// otherwise the data also goes straight to the backend.
+func (c *Cache) WriteIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	if length < 0 {
 		length = 0
 	}
@@ -431,14 +568,14 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 		return d, d.Sub(now)
 	}
 	for page := first; page <= last; page++ {
-		_, horizon := c.installPage(done, page, c.cfg.WriteBehind, false, true)
+		_, horizon := c.installPage(io, done, page, c.cfg.WriteBehind, false, true)
 		if horizon.After(done) {
 			done = horizon // eviction write-back stalled us
 		}
 	}
 	done = done.Add(c.copyCost(length))
 	if !c.cfg.WriteBehind {
-		diskDone, _ := c.backend.Access(done, simdisk.Request{Offset: offset, Length: length, Write: true})
+		diskDone, _ := io.backend.Access(done, simdisk.Request{Offset: offset, Length: length, Write: true})
 		s := c.shardOf(first)
 		s.mu.Lock()
 		s.stats.BytesToDisk += length
@@ -469,15 +606,15 @@ func (c *Cache) Flush(now time.Time) (time.Time, time.Duration) {
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	done := now
 	for _, page := range pages {
-		done = c.flushPage(done, page)
+		done = c.flushPage(c.defIO, done, page)
 	}
 	return done, done.Sub(now)
 }
 
-// flushPage writes back one page if it is still resident and dirty,
-// returning the new completion horizon (== done when there was nothing to
-// write).
-func (c *Cache) flushPage(done time.Time, page int64) time.Time {
+// flushPage writes back one page on io's backend if it is still resident
+// and dirty, returning the new completion horizon (== done when there
+// was nothing to write).
+func (c *Cache) flushPage(io *IO, done time.Time, page int64) time.Time {
 	s := c.shardOf(page)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -485,7 +622,7 @@ func (c *Cache) flushPage(done time.Time, page int64) time.Time {
 	if !ok || !f.dirty {
 		return done
 	}
-	d, _ := c.backend.Access(done, simdisk.Request{
+	d, _ := io.backend.Access(done, simdisk.Request{
 		Offset: page * c.cfg.PageSize,
 		Length: c.cfg.PageSize,
 		Write:  true,
@@ -497,17 +634,23 @@ func (c *Cache) flushPage(done time.Time, page int64) time.Time {
 	return d
 }
 
-// FlushRange writes back dirty pages intersecting [offset, offset+length).
-// File stores use it to flush one file's pages on close without disturbing
-// the rest of the cache.
+// FlushRange writes back dirty pages intersecting [offset,
+// offset+length) on the cache's default I/O context.
 func (c *Cache) FlushRange(now time.Time, offset, length int64) (time.Time, time.Duration) {
+	return c.FlushRangeIO(c.defIO, now, offset, length)
+}
+
+// FlushRangeIO writes back dirty pages intersecting [offset,
+// offset+length) on io's backend view. File stores use it to flush one
+// file's pages on close without disturbing the rest of the cache.
+func (c *Cache) FlushRangeIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	done := now
 	if length <= 0 {
 		return done, 0
 	}
 	first, last := c.pageRange(offset, length)
 	for page := first; page <= last; page++ {
-		done = c.flushPage(done, page)
+		done = c.flushPage(io, done, page)
 	}
 	return done, done.Sub(now)
 }
@@ -534,7 +677,5 @@ func (c *Cache) Invalidate() {
 			c.pushFree(f)
 		}
 	}
-	for i := range c.tails {
-		c.tails[i].Store(-2)
-	}
+	c.defIO.reset()
 }

@@ -25,10 +25,11 @@ type shard struct {
 	size atomic.Int32
 }
 
-// evictLocked evicts victim (which must be linked in s) writing it back if
-// dirty, and returns the write-back completion time (== now when clean).
-// The caller holds s.mu and owns the returned-to-free-state frame.
-func (s *shard) evictLocked(c *Cache, now time.Time, victim *frame) time.Time {
+// evictLocked evicts victim (which must be linked in s) writing it back
+// on io's backend if dirty, and returns the write-back completion time
+// (== now when clean). The caller holds s.mu and owns the
+// returned-to-free-state frame.
+func (s *shard) evictLocked(c *Cache, io *IO, now time.Time, victim *frame) time.Time {
 	s.lru.remove(victim)
 	delete(s.resident, victim.page)
 	s.size.Add(-1)
@@ -36,7 +37,7 @@ func (s *shard) evictLocked(c *Cache, now time.Time, victim *frame) time.Time {
 	s.stats.Evictions++
 	done := now
 	if victim.dirty {
-		done, _ = c.backend.Access(now, simdisk.Request{
+		done, _ = io.backend.Access(now, simdisk.Request{
 			Offset: victim.page * c.cfg.PageSize,
 			Length: c.cfg.PageSize,
 			Write:  true,
@@ -78,7 +79,7 @@ func (c *Cache) pushFree(f *frame) {
 // write-back completion horizon and whether a frame was actually freed
 // (false only when a racing Invalidate emptied the cache, or every frame
 // is momentarily in flight between pool and shard).
-func (c *Cache) reclaimRemote(now time.Time) (time.Time, bool) {
+func (c *Cache) reclaimRemote(io *IO, now time.Time) (time.Time, bool) {
 	var victim *shard
 	var max int32
 	for _, t := range c.shards {
@@ -95,7 +96,7 @@ func (c *Cache) reclaimRemote(now time.Time) (time.Time, bool) {
 		victim.mu.Unlock()
 		return now, false
 	}
-	done := victim.evictLocked(c, now, v)
+	done := victim.evictLocked(c, io, now, v)
 	victim.mu.Unlock()
 	c.pushFree(v)
 	return done, true
@@ -133,14 +134,17 @@ func (c *Cache) isResident(page int64) bool {
 
 // installPage makes page resident in its shard, evicting under memory
 // pressure: first the global free pool, then this shard's own LRU, and as
-// a last resort a reclaim from the fullest sibling. It reports whether the
-// page was newly installed (false when it was already resident) and the
-// completion horizon of any dirty write-back performed on behalf of this
-// install (== now when nothing had to be written back). When count is set
-// the lookup is charged to the shard's hit/miss counters, as the write
-// path requires.
-func (c *Cache) installPage(now time.Time, page int64, dirty, prefetched, count bool) (fresh bool, horizon time.Time) {
-	s := c.shardOf(page)
+// a last resort a reclaim from the fullest sibling. Evictions performed
+// on behalf of this install charge io's backend view. It reports whether
+// the page was newly installed (false when it was already resident) and
+// the completion horizon of any dirty write-back performed (== now when
+// nothing had to be written back). When count is set the lookup is
+// charged to the shard's hit/miss counters, as the write path requires.
+// Dirtying a page past the write-back threshold signals the shard's
+// background flusher.
+func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched, count bool) (fresh bool, horizon time.Time) {
+	si := c.shardIndex(page)
+	s := c.shards[si]
 	horizon = now
 	for {
 		s.mu.Lock()
@@ -148,18 +152,24 @@ func (c *Cache) installPage(now time.Time, page int64, dirty, prefetched, count 
 			if count {
 				s.stats.Hits++
 			}
+			dirtied := false
 			if dirty && !f.dirty {
 				f.dirty = true
 				s.dirty++
+				dirtied = true
 			}
+			dirtyCount := s.dirty
 			s.lru.moveToFront(f)
 			s.mu.Unlock()
+			if dirtied {
+				c.maybeSignalWriteback(si, dirtyCount, now)
+			}
 			return false, horizon
 		}
 		f := c.popFree()
 		if f == nil {
 			if victim := s.lru.back(); victim != nil {
-				done := s.evictLocked(c, now, victim)
+				done := s.evictLocked(c, io, now, victim)
 				if done.After(horizon) {
 					horizon = done
 				}
@@ -180,13 +190,17 @@ func (c *Cache) installPage(now time.Time, page int64, dirty, prefetched, count 
 			if dirty {
 				s.dirty++
 			}
+			dirtyCount := s.dirty
 			s.mu.Unlock()
+			if dirty {
+				c.maybeSignalWriteback(si, dirtyCount, now)
+			}
 			return true, horizon
 		}
 		// Budget exhausted and this stripe holds nothing to evict: pull a
 		// frame back from the fullest sibling, then retry the install.
 		s.mu.Unlock()
-		done, ok := c.reclaimRemote(now)
+		done, ok := c.reclaimRemote(io, now)
 		if done.After(horizon) {
 			horizon = done
 		}

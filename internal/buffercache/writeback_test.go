@@ -1,0 +1,134 @@
+package buffercache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// wbConfig is a small write-back-enabled cache configuration.
+func wbConfig(threshold int, policy simdisk.SchedPolicy) Config {
+	cfg := DefaultConfig()
+	cfg.NumPages = 256
+	cfg.Shards = 4
+	cfg.WritebackThreshold = threshold
+	cfg.WritebackPolicy = policy
+	return cfg
+}
+
+func TestWritebackDisabledByDefault(t *testing.T) {
+	c := MustNew(DefaultConfig(), simdisk.MustNew(simdisk.MemoryBackedParams()))
+	if c.WritebackEnabled() {
+		t.Fatal("default config enabled write-back")
+	}
+	// Close and Quiesce are safe no-ops without write-back.
+	now := time.Unix(0, 0)
+	if got := c.Quiesce(now); !got.Equal(now) {
+		t.Fatalf("Quiesce without write-back = %v, want now", got)
+	}
+	c.Close()
+	c.Close()
+}
+
+func TestWritebackDrainsDirtySetInBackground(t *testing.T) {
+	disk := simdisk.MustNew(simdisk.MemoryBackedParams())
+	cfg := wbConfig(8, simdisk.SSTF)
+	cfg.WritebackBatch = 4 // several scheduled batches per drain
+	c := MustNew(cfg, disk)
+	defer c.Close()
+
+	now := time.Unix(0, 0)
+	// Dirty well past the per-stripe threshold.
+	for i := int64(0); i < 128; i++ {
+		now, _ = c.Write(now, i*c.cfg.PageSize, c.cfg.PageSize)
+	}
+	// The flushers run on their own goroutines; wait for the signal-driven
+	// drains to retire the bulk of the dirty set.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().WritebackPages == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flushers retired no pages")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Quiesce retires everything that remains, deterministically.
+	c.Quiesce(now)
+	if got := c.DirtyPages(); got != 0 {
+		t.Fatalf("%d dirty pages survived Quiesce", got)
+	}
+	s := c.Stats()
+	if s.WritebackPages == 0 || s.WritebackBatches == 0 {
+		t.Fatalf("write-back counters empty: %+v", s)
+	}
+	if s.WritebackBatches < s.WritebackPages/4 {
+		t.Fatalf("batch cap 4 not honored: %d pages in %d batches", s.WritebackPages, s.WritebackBatches)
+	}
+	if s.DirtyFlushes < s.WritebackPages {
+		t.Fatalf("DirtyFlushes %d < WritebackPages %d", s.DirtyFlushes, s.WritebackPages)
+	}
+	if want := s.DirtyFlushes * c.cfg.PageSize; s.BytesToDisk != want {
+		t.Fatalf("BytesToDisk = %d, want %d", s.BytesToDisk, want)
+	}
+	if c.WritebackHorizon().IsZero() {
+		t.Fatal("write-back consumed no simulated time")
+	}
+}
+
+// TestWritebackChargesBackgroundLanesNotCaller pins the core contract:
+// with write-back on, dirtying pages costs the writer only memory-copy
+// time; the disk time lands on the flushers' lanes.
+func TestWritebackChargesBackgroundLanesNotCaller(t *testing.T) {
+	disk := simdisk.MustNew(simdisk.MemoryBackedParams())
+	c := MustNew(wbConfig(4, simdisk.SCAN), disk)
+	defer c.Close()
+
+	// An identical cache without write-back, flushed in the foreground.
+	ref := MustNew(wbConfig(0, simdisk.FCFS), simdisk.MustNew(simdisk.MemoryBackedParams()))
+
+	now := time.Unix(0, 0)
+	var wbDone, refDone time.Time
+	wbDone = now
+	refDone = now
+	for i := int64(0); i < 32; i++ {
+		wbDone, _ = c.Write(wbDone, i*c.cfg.PageSize, c.cfg.PageSize)
+		refDone, _ = ref.Write(refDone, i*ref.cfg.PageSize, ref.cfg.PageSize)
+	}
+	if !wbDone.Equal(refDone) {
+		t.Fatalf("write path cost changed under write-back: %v vs %v", wbDone, refDone)
+	}
+	refFlush, _ := ref.Flush(refDone)
+	if !refFlush.After(refDone) {
+		t.Fatal("foreground flush charged no time")
+	}
+	horizon := c.Quiesce(wbDone)
+	if !horizon.After(wbDone) {
+		t.Fatal("background flush consumed no lane time")
+	}
+}
+
+// TestWritebackQuiesceDeterministic replays the same write sequence
+// twice through fresh caches and quiesces: the final horizon, stats, and
+// page state must match exactly.
+func TestWritebackQuiesceDeterministic(t *testing.T) {
+	run := func() (time.Time, Stats) {
+		c := MustNew(wbConfig(1<<30, simdisk.SSTF), simdisk.MustNew(simdisk.MemoryBackedParams()))
+		defer c.Close()
+		now := time.Unix(0, 0)
+		for i := int64(0); i < 64; i++ {
+			off := (i * 7 % 64) * c.cfg.PageSize
+			now, _ = c.Write(now, off, c.cfg.PageSize)
+		}
+		// Threshold is unreachable, so no background drain raced: Quiesce
+		// does all the work on the write-back lanes.
+		return c.Quiesce(now), c.Stats()
+	}
+	h1, s1 := run()
+	h2, s2 := run()
+	if !h1.Equal(h2) {
+		t.Fatalf("quiesce horizons differ: %v vs %v", h1, h2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ:\n%+v\n%+v", s1, s2)
+	}
+}

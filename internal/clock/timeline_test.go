@@ -1,0 +1,96 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineMergeIsMaxOverLanes(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start)
+	a := tl.NewLane()
+	b := tl.NewLane()
+	c := tl.NewLane()
+
+	a.Advance(3 * time.Second)
+	b.Advance(7 * time.Second)
+	c.Advance(1 * time.Second)
+
+	if got, want := tl.Elapsed(), 7*time.Second; got != want {
+		t.Fatalf("Elapsed = %v, want %v (max over lanes, not sum)", got, want)
+	}
+	if got := tl.MaxNow(); !got.Equal(start.Add(7 * time.Second)) {
+		t.Fatalf("MaxNow = %v", got)
+	}
+}
+
+func TestTimelineNewLaneJoinsAtMaxNow(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start)
+	a := tl.NewLane()
+	a.Advance(5 * time.Second)
+
+	late := tl.NewLane()
+	if got := late.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("late lane starts at %v, want the timeline's MaxNow", got)
+	}
+	// A late joiner advancing does not double-count the first 5 s.
+	late.Advance(2 * time.Second)
+	if got, want := tl.Elapsed(), 7*time.Second; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineAlignBarrier(t *testing.T) {
+	tl := NewTimeline(time.Unix(0, 0))
+	a := tl.NewLane()
+	b := tl.NewLane()
+	a.Advance(4 * time.Second)
+
+	at := tl.Align()
+	if !b.Now().Equal(at) || !a.Now().Equal(at) {
+		t.Fatalf("after Align lanes read %v / %v, want both %v", a.Now(), b.Now(), at)
+	}
+	if tl.Lanes() != 2 {
+		t.Fatalf("Lanes = %d", tl.Lanes())
+	}
+}
+
+// TestTimelineConcurrent advances lanes from many goroutines under the
+// race detector: each lane is owned by one goroutine, merges race with
+// advances, and the final merge is exact.
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline(time.Unix(0, 0))
+	const lanes = 8
+	clocks := make([]*VirtualClock, lanes)
+	for i := range clocks {
+		clocks[i] = tl.NewLane()
+	}
+	var wg sync.WaitGroup
+	for i, c := range clocks {
+		wg.Add(1)
+		go func(i int, c *VirtualClock) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Duration(i+1) * time.Millisecond)
+				_ = tl.MaxNow() // merge racing with advances
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if got, want := tl.Elapsed(), 800*time.Millisecond; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	a := time.Unix(1, 0)
+	b := time.Unix(2, 0)
+	if got := MaxTime(a, b); !got.Equal(b) {
+		t.Fatalf("MaxTime = %v", got)
+	}
+	if got := MaxTime(b, a); !got.Equal(b) {
+		t.Fatalf("MaxTime = %v", got)
+	}
+}

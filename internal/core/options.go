@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/buffercache"
+	"repro/internal/simdisk"
 	"repro/internal/tracegen"
 )
 
@@ -24,6 +25,16 @@ type Options struct {
 	// store in the registry is built with. Zero keeps the paper's
 	// deterministic single stripe; otherwise it must be a power of two.
 	CacheShards int
+	// Writeback is the page-cache background write-back threshold (dirty
+	// pages per stripe) every simulated store is built with. Zero keeps
+	// the paper's flush-on-close behavior.
+	Writeback int
+	// WritebackBatch caps how many pages one background drain submits to
+	// the disk queue; zero means the whole dirty set.
+	WritebackBatch int
+	// SchedPolicy orders write-back batches at the disk queue: FCFS,
+	// SSTF, or SCAN. Ignored while Writeback is zero.
+	SchedPolicy simdisk.SchedPolicy
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -53,6 +64,12 @@ func SetOptions(opts Options) {
 		current.CacheShards = 0
 		buffercache.SetDefaultShards(0)
 	}
+	if err := buffercache.SetDefaultWriteback(current.Writeback, current.WritebackBatch, current.SchedPolicy); err != nil {
+		current.Writeback = 0
+		current.WritebackBatch = 0
+		current.SchedPolicy = simdisk.FCFS
+		buffercache.SetDefaultWriteback(0, 0, simdisk.FCFS)
+	}
 }
 
 // fillDefaults replaces zero fields with defaults.
@@ -81,6 +98,9 @@ type configJSON struct {
 	TraceFileSizeMB *int64   `json:"trace_file_size_mb"`
 	TraceRequests   *int     `json:"trace_requests"`
 	CacheShards     *int     `json:"cache_shards"`
+	Writeback       *int     `json:"writeback"`
+	WritebackBatch  *int     `json:"writeback_batch"`
+	SchedPolicy     *string  `json:"sched_policy"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -125,6 +145,25 @@ func LoadOptions(r io.Reader) (Options, error) {
 		if n := opts.CacheShards; n < 0 || n&(n-1) != 0 {
 			return Options{}, fmt.Errorf("core: cache_shards %d must be a power of two", n)
 		}
+	}
+	if cfg.Writeback != nil {
+		if *cfg.Writeback < 0 {
+			return Options{}, fmt.Errorf("core: writeback %d must be non-negative", *cfg.Writeback)
+		}
+		opts.Writeback = *cfg.Writeback
+	}
+	if cfg.WritebackBatch != nil {
+		if *cfg.WritebackBatch < 0 {
+			return Options{}, fmt.Errorf("core: writeback_batch %d must be non-negative", *cfg.WritebackBatch)
+		}
+		opts.WritebackBatch = *cfg.WritebackBatch
+	}
+	if cfg.SchedPolicy != nil {
+		policy, err := simdisk.ParsePolicy(*cfg.SchedPolicy)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.SchedPolicy = policy
 	}
 	if err := opts.Machine.Validate(); err != nil {
 		return Options{}, err

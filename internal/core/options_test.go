@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
+	"repro/internal/simdisk"
 )
 
 func TestDefaultOptionsValid(t *testing.T) {
@@ -108,6 +109,49 @@ func TestSetOptionsCacheShardsReachStores(t *testing.T) {
 	}
 	if got := store.Cache().NumShards(); got != 1 {
 		t.Fatalf("store after reset has %d shards, want 1", got)
+	}
+}
+
+func TestLoadOptionsWriteback(t *testing.T) {
+	opts, err := LoadOptions(strings.NewReader(`{"writeback": 32, "sched_policy": "sstf"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Writeback != 32 || opts.SchedPolicy != simdisk.SSTF {
+		t.Fatalf("writeback options = %d/%v", opts.Writeback, opts.SchedPolicy)
+	}
+	if _, err := LoadOptions(strings.NewReader(`{"writeback": -1}`)); err == nil {
+		t.Fatal("negative writeback accepted")
+	}
+	if _, err := LoadOptions(strings.NewReader(`{"sched_policy": "elevator-of-doom"}`)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestSetOptionsWritebackReachesStores(t *testing.T) {
+	defer SetOptions(DefaultOptions())
+	opts := DefaultOptions()
+	opts.Writeback = 16
+	opts.SchedPolicy = simdisk.SCAN
+	SetOptions(opts)
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if !store.Cache().WritebackEnabled() {
+		t.Fatal("store built under Writeback=16 has write-back disabled")
+	}
+	if got := store.Cache().Config().WritebackPolicy; got != simdisk.SCAN {
+		t.Fatalf("write-back policy = %v, want SCAN", got)
+	}
+	SetOptions(DefaultOptions())
+	store, err = fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Cache().WritebackEnabled() {
+		t.Fatal("store after reset still has write-back enabled")
 	}
 }
 

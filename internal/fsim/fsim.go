@@ -10,14 +10,21 @@
 //
 // The operation set matches the paper's trace format exactly: Open, Close,
 // Read, Write, Seek (§3.2).
+//
+// Time model: a FileStore owns a clock.Timeline. Plain store calls run on
+// the default lane — single-threaded callers see exactly the original
+// one-clock behavior. NewSession (session.go) opens an independent lane
+// with a private disk-timing view, so concurrent workers advance
+// simulated time in parallel and the aggregate elapsed time is the
+// longest lane, not the sum.
 package fsim
 
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffercache"
@@ -88,7 +95,8 @@ type Config struct {
 	// placed in I/O buffers", §3.4). The pull is asynchronous: it occupies
 	// the disk but is not charged to Open's latency.
 	WarmPagesOnOpen int
-	// Cache configures the page cache.
+	// Cache configures the page cache, including the background
+	// write-back knobs (WritebackThreshold / WritebackPolicy).
 	Cache buffercache.Config
 	// Disk configures the backing store; see simdisk.MemoryBackedParams.
 	Disk simdisk.Params
@@ -158,39 +166,58 @@ func (c Config) Validate() error {
 // only a logical size — reads return zeros and writes update metadata —
 // so the trace benchmarks can replay against a 1 GB sample file without
 // materializing a gigabyte of bytes.
+//
+// Each file carries its own lock: the store-level namespace (a sync.Map)
+// never serializes data access, so metadata-heavy workloads touching
+// different files proceed in parallel.
 type fileMeta struct {
-	name   string
-	base   int64 // extent start in the simulated address space
+	name string
+	base int64 // extent start in the simulated address space; immutable
+
+	mu     sync.RWMutex
 	data   []byte
 	sparse bool
 	size   int64 // logical size; == len(data) for dense files
 }
 
-func (m *fileMeta) length() int64 {
+// lengthLocked returns the logical size; the caller holds mu.
+func (m *fileMeta) lengthLocked() int64 {
 	if m.sparse {
 		return m.size
 	}
 	return int64(len(m.data))
 }
 
-// FileStore is the simulated Store. Metadata lives under a read-write
-// lock: operations that only read file contents and metadata (Read, Seek,
-// Size, Close) take the shared side, so concurrent readers — the
-// goroutine-per-process trace replays and the web server's connection
-// handlers — reach the lock-striped page cache in parallel instead of
-// serializing on the store. Mutating operations (Create, Open's handle
-// bookkeeping, Write, Remove) take the exclusive side. The cache, disk
-// array, and virtual clock are internally synchronized.
+// length returns the logical size under the meta lock.
+func (m *fileMeta) length() int64 {
+	m.mu.RLock()
+	n := m.lengthLocked()
+	m.mu.RUnlock()
+	return n
+}
+
+// FileStore is the simulated Store. The namespace is a sync.Map keyed by
+// file name, extent allocation is an atomic bump pointer, and each file
+// guards its own contents with a read-write lock — there is no
+// store-level mutex left, so directory operations (Create, Open, Remove,
+// Names) from different goroutines never serialize on the store. The
+// cache, disk array, and virtual clocks are internally synchronized.
 type FileStore struct {
 	cfg   Config
-	clk   *clock.VirtualClock
+	tl    *clock.Timeline
+	clk   *clock.VirtualClock // the default lane
 	cache *buffercache.Cache
 	array *simdisk.Array
+	def   *Session
 
-	mu        sync.RWMutex
-	files     map[string]*fileMeta
-	nextBase  int64
+	files     sync.Map // name -> *fileMeta
+	nextBase  atomic.Int64
 	extentGap int64
+
+	sessMu   sync.Mutex
+	sessions []*Session
+	// retired accumulates the disk statistics of released sessions.
+	retired simdisk.Stats
 }
 
 // NewFileStore builds a simulated store. It returns an error for invalid
@@ -207,14 +234,30 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FileStore{
+	tl := clock.NewTimeline(time.Unix(0, 0))
+	s := &FileStore{
 		cfg:       cfg,
-		clk:       clock.NewVirtualClock(time.Unix(0, 0)),
+		tl:        tl,
+		clk:       tl.NewLane(),
 		cache:     cache,
 		array:     array,
-		files:     make(map[string]*fileMeta),
 		extentGap: cfg.Cache.PageSize, // extents are page-aligned and disjoint
-	}, nil
+	}
+	// The default session runs on the default lane, the shared array, and
+	// the cache's default I/O context: plain store calls behave exactly
+	// like the pre-session store.
+	s.def = &Session{store: s, clk: s.clk, io: cache.DefaultIO(), array: array}
+	// Background write-back gets its own disk view, like a session: its
+	// drains overlap foreground I/O on independent lanes instead of
+	// racing wall-clock-nondeterministically for the shared busy horizon.
+	if cfg.Cache.WritebackThreshold > 0 {
+		wbArray, err := simdisk.NewArrayLevel(cfg.Disks, cfg.StripeUnit, cfg.RAIDLevel, cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		cache.SetWritebackBackend(wbArray)
+	}
+	return s, nil
 }
 
 // MustNewFileStore panics on configuration error; for literal wiring.
@@ -232,11 +275,58 @@ func (s *FileStore) Config() Config { return s.cfg }
 // Cache exposes the page cache for stats inspection and ablations.
 func (s *FileStore) Cache() *buffercache.Cache { return s.cache }
 
-// Array exposes the disk array for stats inspection.
+// Array exposes the shared disk array for stats inspection. Sessions
+// time their I/O against private views; TotalDiskStats aggregates both.
 func (s *FileStore) Array() *simdisk.Array { return s.array }
 
-// Clock exposes the store's virtual clock.
+// Clock exposes the store's default virtual-clock lane.
 func (s *FileStore) Clock() *clock.VirtualClock { return s.clk }
+
+// Timeline exposes the store's lane set; its MaxNow is the aggregate
+// simulated time across the default lane and every session.
+func (s *FileStore) Timeline() *clock.Timeline { return s.tl }
+
+// Close stops the cache's background flusher goroutines, if write-back
+// is enabled. It is safe to call multiple times and never required for
+// stores built without write-back.
+func (s *FileStore) Close() { s.cache.Close() }
+
+// Settle ends a (possibly parallel) run: it merges every lane, then
+// retires whatever dirty pages remain. With background write-back the
+// residue drains through the flushers' own lanes — the disk work happens
+// off the critical path, so no foreground time is charged and the settle
+// duration is zero; the horizon is visible via Cache().WritebackHorizon.
+// Without write-back the residue is flushed as one deterministic
+// elevator sweep billed from the merged time, as a final sync would be.
+// It returns the merged completion time and the foreground duration
+// charged.
+func (s *FileStore) Settle() (time.Time, time.Duration) {
+	now := s.tl.MaxNow()
+	if s.cache.WritebackEnabled() {
+		s.cache.Quiesce(now)
+		return now, 0
+	}
+	done, d := s.cache.Flush(now)
+	s.clk.Set(done)
+	return done, d
+}
+
+// TotalDiskStats sums the shared array's statistics with every live
+// session's private view and the retired totals of released sessions,
+// so no simulated disk traffic is invisible.
+func (s *FileStore) TotalDiskStats() simdisk.Stats {
+	total := s.array.TotalStats()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	total.Add(s.retired)
+	for _, sess := range s.sessions {
+		if sess.array == s.array {
+			continue
+		}
+		total.Add(sess.array.TotalStats())
+	}
+	return total
+}
 
 // alignUp rounds n up to the next multiple of align.
 func alignUp(n, align int64) int64 {
@@ -246,262 +336,64 @@ func alignUp(n, align int64) int64 {
 	return n + align - n%align
 }
 
-// Create makes (or truncates) a file holding data. Existing extents are
-// reused when the new contents fit; otherwise a fresh extent is allocated.
+// allocExtent reserves a page-aligned extent for length bytes and
+// returns its base. The bump pointer is atomic, so concurrent creates
+// never serialize on the store.
+func (s *FileStore) allocExtent(length int64) int64 {
+	span := alignUp(length+s.extentGap, s.cfg.Cache.PageSize)
+	return s.nextBase.Add(span) - span
+}
+
+// lookup fetches a file's metadata.
+func (s *FileStore) lookup(name string) (*fileMeta, bool) {
+	v, ok := s.files.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*fileMeta), true
+}
+
+// extentCap returns the capacity of meta's extent (distance to next base,
+// conservatively its own aligned size). The caller holds meta.mu.
+func (s *FileStore) extentCap(meta *fileMeta) int64 {
+	return alignUp(meta.lengthLocked()+s.extentGap, s.cfg.Cache.PageSize)
+}
+
+// Create makes (or truncates) a file holding data on the default lane.
 func (s *FileStore) Create(name string, data []byte) (time.Duration, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	meta, ok := s.files[name]
-	if !ok || int64(len(data)) > s.extentCap(meta) {
-		meta = &fileMeta{name: name, base: s.nextBase}
-		s.nextBase += alignUp(int64(len(data))+s.extentGap, s.cfg.Cache.PageSize)
-		s.files[name] = meta
-	}
-	meta.data = buf
-	meta.sparse = false
-	meta.size = int64(len(buf))
-	done := now.Add(s.cfg.CreateCost)
-	// Writing the initial contents dirties the cache like any write.
-	if len(data) > 0 {
-		done, _ = s.cache.Write(done, meta.base, int64(len(data)))
-	}
-	s.clk.Set(done)
-	return done.Sub(now), nil
+	return s.def.Create(name, data)
 }
 
 // CreateSized makes (or replaces) a sparse file of the given logical size.
 // Reads return zeros; writes update only metadata and timing. This is how
 // the trace benchmarks provision the paper's 1 GB sample file.
 func (s *FileStore) CreateSized(name string, size int64) (time.Duration, error) {
-	if size < 0 {
-		return 0, fmt.Errorf("fsim: negative size %d", size)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clk.Now()
-	meta := &fileMeta{name: name, base: s.nextBase, sparse: true, size: size}
-	s.nextBase += alignUp(size+s.extentGap, s.cfg.Cache.PageSize)
-	s.files[name] = meta
-	done := now.Add(s.cfg.CreateCost)
-	s.clk.Set(done)
-	return done.Sub(now), nil
+	return s.def.CreateSized(name, size)
 }
 
-// extentCap returns the capacity of meta's extent (distance to next base,
-// conservatively its own aligned size).
-func (s *FileStore) extentCap(meta *fileMeta) int64 {
-	return alignUp(meta.length()+s.extentGap, s.cfg.Cache.PageSize)
-}
-
-// Open opens an existing file.
+// Open opens an existing file on the default lane.
 func (s *FileStore) Open(name string) (File, time.Duration, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	meta, ok := s.files[name]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNotExist, name)
-	}
-	now := s.clk.Now()
-	done := now.Add(s.cfg.OpenCost)
-	s.clk.Set(done)
-	// Background warm-up of the first pages (§3.4): occupies the cache and
-	// disk but is not charged to the caller.
-	if s.cfg.WarmPagesOnOpen > 0 && meta.length() > 0 {
-		warm := int64(s.cfg.WarmPagesOnOpen) * s.cfg.Cache.PageSize
-		if warm > meta.length() {
-			warm = meta.length()
-		}
-		s.cache.Read(done, meta.base, warm)
-	}
-	return &simFile{store: s, meta: meta}, done.Sub(now), nil
+	return s.def.Open(name)
 }
 
-// Remove deletes name, dropping its cached pages.
+// Remove deletes name on the default lane, dropping its directory entry.
 func (s *FileStore) Remove(name string) (time.Duration, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	meta, ok := s.files[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
-	}
-	delete(s.files, name)
-	now := s.clk.Now()
-	// Dropping the directory entry costs like a create; the extent's
-	// cached pages become dead weight the LRU will reclaim naturally.
-	done := now.Add(s.cfg.CreateCost)
-	_ = meta
-	s.clk.Set(done)
-	return done.Sub(now), nil
+	return s.def.Remove(name)
 }
 
 // Exists reports whether name exists.
 func (s *FileStore) Exists(name string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.files[name]
+	_, ok := s.files.Load(name)
 	return ok
 }
 
 // Names returns the sorted file names.
 func (s *FileStore) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.files))
-	for name := range s.files {
-		out = append(out, name)
-	}
+	var out []string
+	s.files.Range(func(key, _ any) bool {
+		out = append(out, key.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
-}
-
-// simFile is an open handle on a FileStore file.
-type simFile struct {
-	store  *FileStore
-	meta   *fileMeta
-	pos    int64
-	closed bool
-	wrote  bool
-}
-
-var _ File = (*simFile)(nil)
-
-// Name returns the file name.
-func (f *simFile) Name() string { return f.meta.name }
-
-// Size returns the file length.
-func (f *simFile) Size() int64 {
-	f.store.mu.RLock()
-	defer f.store.mu.RUnlock()
-	return f.meta.length()
-}
-
-// Read fills p from the current position.
-func (f *simFile) Read(p []byte) (int, time.Duration, error) {
-	if f.closed {
-		return 0, 0, ErrClosed
-	}
-	f.store.mu.RLock()
-	defer f.store.mu.RUnlock()
-	size := f.meta.length()
-	if f.pos >= size {
-		return 0, 0, io.EOF
-	}
-	n := int64(len(p))
-	if f.pos+n > size {
-		n = size - f.pos
-	}
-	if f.meta.sparse {
-		for i := int64(0); i < n; i++ {
-			p[i] = 0
-		}
-	} else {
-		copy(p, f.meta.data[f.pos:f.pos+n])
-	}
-	now := f.store.clk.Now()
-	done, _ := f.store.cache.Read(now, f.meta.base+f.pos, n)
-	f.store.clk.Set(done)
-	f.pos += n
-	var err error
-	if n < int64(len(p)) {
-		err = io.EOF
-	}
-	return int(n), done.Sub(now), err
-}
-
-// Write stores p at the current position, growing the file as needed.
-func (f *simFile) Write(p []byte) (int, time.Duration, error) {
-	if f.closed {
-		return 0, 0, ErrClosed
-	}
-	f.store.mu.Lock()
-	defer f.store.mu.Unlock()
-	end := f.pos + int64(len(p))
-	if end > f.store.extentCap(f.meta) {
-		// Contents outgrew the extent: relocate. Rare in the benchmarks
-		// (POST files are written once); charged as a create.
-		newMeta := &fileMeta{
-			name: f.meta.name, base: f.store.nextBase,
-			data: f.meta.data, sparse: f.meta.sparse, size: f.meta.size,
-		}
-		f.store.nextBase += alignUp(end+f.store.extentGap, f.store.cfg.Cache.PageSize)
-		f.store.files[f.meta.name] = newMeta
-		f.meta = newMeta
-	}
-	if f.meta.sparse {
-		if end > f.meta.size {
-			f.meta.size = end
-		}
-	} else {
-		if end > int64(len(f.meta.data)) {
-			grown := make([]byte, end)
-			copy(grown, f.meta.data)
-			f.meta.data = grown
-		}
-		copy(f.meta.data[f.pos:end], p)
-		f.meta.size = int64(len(f.meta.data))
-	}
-	now := f.store.clk.Now()
-	done, _ := f.store.cache.Write(now, f.meta.base+f.pos, int64(len(p)))
-	f.store.clk.Set(done)
-	f.pos = end
-	f.wrote = true
-	return len(p), done.Sub(now), nil
-}
-
-// Seek repositions the handle. Seeking to a non-resident page charges the
-// read-ahead initiation cost and warms the target page in the background.
-func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error) {
-	if f.closed {
-		return 0, 0, ErrClosed
-	}
-	f.store.mu.RLock()
-	defer f.store.mu.RUnlock()
-	var target int64
-	switch whence {
-	case io.SeekStart:
-		target = offset
-	case io.SeekCurrent:
-		target = f.pos + offset
-	case io.SeekEnd:
-		target = f.meta.length() + offset
-	default:
-		return f.pos, 0, fmt.Errorf("fsim: invalid whence %d", whence)
-	}
-	if target < 0 {
-		return f.pos, 0, fmt.Errorf("fsim: negative seek position %d", target)
-	}
-	cost := f.store.cfg.SeekCost
-	if target < f.meta.length() && !f.store.cache.Resident(f.meta.base+target) {
-		cost += f.store.cfg.SeekPrefetchInit
-		// Kick off background read-ahead at the target; not charged.
-		now := f.store.clk.Now()
-		f.store.cache.Read(now, f.meta.base+target, f.store.cfg.Cache.PageSize)
-	}
-	now := f.store.clk.Now()
-	done := now.Add(cost)
-	f.store.clk.Set(done)
-	f.pos = target
-	return target, done.Sub(now), nil
-}
-
-// Close flushes the file's dirty pages and releases the handle. Closing
-// is always at least CloseCost, and more when writes must be written back
-// — the close-slower-than-open effect of §3.4.
-func (f *simFile) Close() (time.Duration, error) {
-	if f.closed {
-		return 0, ErrClosed
-	}
-	f.store.mu.RLock()
-	defer f.store.mu.RUnlock()
-	f.closed = true
-	now := f.store.clk.Now()
-	done := now.Add(f.store.cfg.CloseCost)
-	if f.wrote {
-		done, _ = f.store.cache.FlushRange(done, f.meta.base, f.meta.length())
-	}
-	f.store.clk.Set(done)
-	return done.Sub(now), nil
 }

@@ -2,6 +2,7 @@ package simdisk
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,6 +15,10 @@ type Array struct {
 	disks      []*Disk
 	stripeUnit int64
 	level      Level
+	// head is the logical offset the last request ended at, the position
+	// ServeBatch schedules its next batch from. Member disks keep their
+	// own physical heads; this one orders logical queues.
+	head atomic.Int64
 }
 
 // NewArray builds an array of n disks with parameters p and the given
@@ -86,7 +91,36 @@ func (a *Array) Unmap(disk int, physical int64) int64 {
 // time and the elapsed duration from now to that completion.
 func (a *Array) Access(now time.Time, req Request) (done time.Time, elapsed time.Duration) {
 	done = a.accessLeveled(now, req)
+	a.head.Store(req.Offset + req.Length)
 	return done, done.Sub(now)
+}
+
+// Head returns the logical offset batch scheduling starts from.
+func (a *Array) Head() int64 { return a.head.Load() }
+
+// ServeBatch services a queue of simultaneously pending logical
+// requests in the order chosen by policy, starting no earlier than now.
+// Requests are ordered by logical offset from the array's logical head
+// (the elevator runs above the striping layer, as an OS request queue
+// does), then issued through Access so each piece queues on its member
+// disk's busy horizon — command queueing across the whole array. It
+// returns per-request results in submission order plus the batch
+// completion time.
+func (a *Array) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]BatchResult, time.Time) {
+	if len(reqs) == 0 {
+		return nil, now
+	}
+	order := ScheduleOrder(a.Head(), reqs, policy)
+	results := make([]BatchResult, len(reqs))
+	end := now
+	for _, idx := range order {
+		done, svc := a.Access(now, reqs[idx])
+		results[idx] = BatchResult{Index: idx, Done: done, Service: svc}
+		if done.After(end) {
+			end = done
+		}
+	}
+	return results, end
 }
 
 // accessStriped is the RAID-0 path: the request is split at stripe
@@ -122,27 +156,19 @@ func (a *Array) accessStriped(now time.Time, req Request) (done time.Time, elaps
 	return done, done.Sub(now)
 }
 
-// Reset resets every member disk.
+// Reset resets every member disk and the logical head.
 func (a *Array) Reset() {
 	for _, d := range a.disks {
 		d.Reset()
 	}
+	a.head.Store(0)
 }
 
 // TotalStats sums the member disks' statistics.
 func (a *Array) TotalStats() Stats {
 	var total Stats
 	for _, d := range a.disks {
-		s := d.Stats()
-		total.Reads += s.Reads
-		total.Writes += s.Writes
-		total.BytesRead += s.BytesRead
-		total.BytesWritten += s.BytesWritten
-		total.SeekTime += s.SeekTime
-		total.RotationTime += s.RotationTime
-		total.TransferTime += s.TransferTime
-		total.BusyTime += s.BusyTime
-		total.QueueWaitedTime += s.QueueWaitedTime
+		total.Add(d.Stats())
 	}
 	return total
 }

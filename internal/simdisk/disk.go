@@ -116,6 +116,19 @@ type Stats struct {
 // Ops returns the total operation count.
 func (s Stats) Ops() int64 { return s.Reads + s.Writes }
 
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.SeekTime += other.SeekTime
+	s.RotationTime += other.RotationTime
+	s.TransferTime += other.TransferTime
+	s.BusyTime += other.BusyTime
+	s.QueueWaitedTime += other.QueueWaitedTime
+}
+
 // Disk is one simulated drive. Methods are safe for concurrent use; the
 // disk serializes requests on its internal busy-until horizon, modelling a
 // single head.
@@ -271,6 +284,14 @@ func (d *Disk) ServiceTime(req Request) time.Duration {
 		d.seekTime(off-d.headPos) +
 		d.rotationalDelay(d.headPos, off) +
 		d.transferTime(req.Length)
+}
+
+// Head returns the current head byte offset, the position batch
+// scheduling starts from.
+func (d *Disk) Head() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.headPos
 }
 
 // Reset returns the head to offset 0 and clears the busy horizon and

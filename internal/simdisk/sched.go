@@ -3,14 +3,15 @@ package simdisk
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
 // SchedPolicy selects the order a queued batch of requests is serviced
 // in. The paper's replays are synchronous (one request at a time), but
-// the disk-scaling experiments and the distributed benchmark generate
-// queues, where the classic schedulers differ; BenchmarkAblationScheduler
-// quantifies it.
+// the buffer cache's background write-back, the disk-scaling experiments
+// and the distributed benchmark generate queues, where the classic
+// schedulers differ; BenchmarkAblationScheduler quantifies it.
 type SchedPolicy int
 
 // Scheduling policies.
@@ -39,6 +40,24 @@ func (p SchedPolicy) String() string {
 	}
 }
 
+// ParsePolicy maps a case-insensitive policy name ("fcfs", "sstf",
+// "scan") to its SchedPolicy, for flags and config files.
+func ParsePolicy(s string) (SchedPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fcfs":
+		return FCFS, nil
+	case "sstf":
+		return SSTF, nil
+	case "scan":
+		return SCAN, nil
+	default:
+		return FCFS, fmt.Errorf("simdisk: unknown scheduling policy %q (want fcfs, sstf, or scan)", s)
+	}
+}
+
+// Valid reports whether p is a known policy.
+func (p SchedPolicy) Valid() bool { return p == FCFS || p == SSTF || p == SCAN }
+
 // BatchResult reports one request's outcome within a scheduled batch.
 type BatchResult struct {
 	// Index is the request's position in the submitted batch.
@@ -49,29 +68,11 @@ type BatchResult struct {
 	Service time.Duration
 }
 
-// ServeBatch services a queue of simultaneously pending requests in the
-// order chosen by policy, starting no earlier than now. It returns
-// per-request results in submission order plus the batch completion time.
-func (d *Disk) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]BatchResult, time.Time) {
-	if len(reqs) == 0 {
-		return nil, now
-	}
-	order := d.scheduleOrder(reqs, policy)
-	results := make([]BatchResult, len(reqs))
-	end := now
-	for _, idx := range order {
-		done, svc := d.Access(now, reqs[idx])
-		results[idx] = BatchResult{Index: idx, Done: done, Service: svc}
-		if done.After(end) {
-			end = done
-		}
-	}
-	return results, end
-}
-
-// scheduleOrder computes the service order for reqs under policy, given
-// the disk's current head position.
-func (d *Disk) scheduleOrder(reqs []Request, policy SchedPolicy) []int {
+// ScheduleOrder computes the service order for a batch of pending
+// requests under policy, given the head position the service run starts
+// from. It is shared by Disk.ServeBatch, Array.ServeBatch, and any
+// caller building its own elevator queue.
+func ScheduleOrder(head int64, reqs []Request, policy SchedPolicy) []int {
 	order := make([]int, len(reqs))
 	for i := range order {
 		order[i] = i
@@ -80,9 +81,6 @@ func (d *Disk) scheduleOrder(reqs []Request, policy SchedPolicy) []int {
 	case FCFS:
 		// Arrival order as given.
 	case SSTF:
-		d.mu.Lock()
-		head := d.headPos
-		d.mu.Unlock()
 		// Greedy nearest-first simulation of head movement.
 		remaining := append([]int(nil), order...)
 		order = order[:0]
@@ -100,9 +98,6 @@ func (d *Disk) scheduleOrder(reqs []Request, policy SchedPolicy) []int {
 			remaining = append(remaining[:best], remaining[best+1:]...)
 		}
 	case SCAN:
-		d.mu.Lock()
-		head := d.headPos
-		d.mu.Unlock()
 		var up, down []int
 		for _, idx := range order {
 			if reqs[idx].Offset >= head {
@@ -116,6 +111,26 @@ func (d *Disk) scheduleOrder(reqs []Request, policy SchedPolicy) []int {
 		order = append(up, down...)
 	}
 	return order
+}
+
+// ServeBatch services a queue of simultaneously pending requests in the
+// order chosen by policy, starting no earlier than now. It returns
+// per-request results in submission order plus the batch completion time.
+func (d *Disk) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]BatchResult, time.Time) {
+	if len(reqs) == 0 {
+		return nil, now
+	}
+	order := ScheduleOrder(d.Head(), reqs, policy)
+	results := make([]BatchResult, len(reqs))
+	end := now
+	for _, idx := range order {
+		done, svc := d.Access(now, reqs[idx])
+		results[idx] = BatchResult{Index: idx, Done: done, Service: svc}
+		if done.After(end) {
+			end = done
+		}
+	}
+	return results, end
 }
 
 func absInt64(x int64) int64 {

@@ -77,7 +77,7 @@ func TestSeekOptimizingPoliciesBeatFCFS(t *testing.T) {
 func TestSCANSweepsMonotonically(t *testing.T) {
 	d := MustNew(testParams())
 	reqs := scatteredBatch(d, 12)
-	order := d.scheduleOrder(reqs, SCAN)
+	order := ScheduleOrder(d.Head(), reqs, SCAN)
 	// Offsets must rise (up sweep) then fall (down sweep): exactly one
 	// direction change.
 	changes := 0

@@ -33,6 +33,10 @@ type Params struct {
 	// Requests scales the per-application request counts; zero means each
 	// generator's default.
 	Requests int
+	// Workers is the process count for the Parallel generator; zero means
+	// its default (4). The five paper applications ignore it — their
+	// process structure is the traced one.
+	Workers int
 }
 
 // DefaultParams returns the paper's setup: a 1 GB sample file.
@@ -49,6 +53,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("tracegen: file size %d must be positive", p.FileSize)
 	case p.Requests < 0:
 		return fmt.Errorf("tracegen: negative request count %d", p.Requests)
+	case p.Workers < 0:
+		return fmt.Errorf("tracegen: negative worker count %d", p.Workers)
 	}
 	return nil
 }
@@ -277,6 +283,66 @@ func Pgrep(p Params) (*trace.Trace, error) {
 	return t, t.Validate()
 }
 
+// Parallel generates an n-worker partitioned workload (n = Params.
+// Workers, default 4): each process opens the sample file, scans its own
+// disjoint region with sequential 64 KB reads, rewrites every eighth
+// block page-aligned in place, and closes. It is the shard/worker
+// scaling subject: per-worker work is identical and regions never
+// overlap, so a simulated-parallel replay is deterministic — each
+// worker's timing is a pure function of its own record sequence. Only
+// the leading three quarters of each region are touched; the trailing
+// gap keeps one worker's read-ahead from warming its neighbour's pages.
+// Requests is the total read count across workers (default 256).
+func Parallel(p Params) (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nproc := p.Workers
+	if nproc == 0 {
+		nproc = 4
+	}
+	reads := p.Requests
+	if reads == 0 {
+		reads = 256
+	}
+	perProc := reads / nproc
+	if perProc < 1 {
+		perProc = 1
+	}
+	const readSize = 64 << 10
+	region := p.FileSize / int64(nproc)
+	scan := region * 3 / 4
+	scan -= scan % readSize
+	if scan < readSize {
+		scan = readSize
+	}
+	var recs []trace.Record
+	wall := int64(0)
+	for pid := 0; pid < nproc; pid++ {
+		base := int64(pid) * region
+		recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1, PID: uint32(pid), WallClock: wall})
+		for i := 0; i < perProc; i++ {
+			off := clampOffset(base+(int64(i)*readSize)%scan, readSize, p.FileSize)
+			recs = append(recs, trace.Record{
+				Op: trace.OpRead, Count: 1, PID: uint32(pid),
+				WallClock: wall, Offset: off, Length: readSize,
+			})
+			wall += 500
+			if i%8 == 7 {
+				woff := clampOffset(base+(int64(i-7)*readSize)%scan, readSize, p.FileSize)
+				recs = append(recs, trace.Record{
+					Op: trace.OpWrite, Count: 1, PID: uint32(pid),
+					WallClock: wall, Offset: woff, Length: readSize,
+				})
+				wall += 500
+			}
+		}
+		recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, PID: uint32(pid), WallClock: wall})
+	}
+	t := &trace.Trace{Header: header(p, uint32(nproc), len(recs)), Records: recs}
+	return t, t.Validate()
+}
+
 // Mixed interleaves all five applications' traces into one multi-process
 // trace (one PID per application) — the consolidated-server workload used
 // for cache-contention studies. Records are merged round-robin by
@@ -351,6 +417,8 @@ func Generate(app string, p Params) (*trace.Trace, error) {
 		return Titan(p)
 	case "Cholesky":
 		return Cholesky(p)
+	case "Parallel":
+		return Parallel(p)
 	default:
 		return nil, fmt.Errorf("tracegen: unknown application %q (want one of %v)", app, AppNames)
 	}

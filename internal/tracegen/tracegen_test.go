@@ -264,3 +264,67 @@ func TestMixedReplayable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParallelPartitionedWorkers(t *testing.T) {
+	p := DefaultParams()
+	p.FileSize = 32 << 20
+	p.Requests = 256
+	p.Workers = 8
+	tr, err := Parallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.NumProcesses != 8 {
+		t.Fatalf("Parallel processes = %d, want 8", tr.Header.NumProcesses)
+	}
+	region := p.FileSize / 8
+	opens := map[uint32]int{}
+	writes := 0
+	for _, r := range tr.Records {
+		switch r.Op {
+		case trace.OpOpen:
+			opens[r.PID]++
+		case trace.OpRead, trace.OpWrite:
+			base := int64(r.PID) * region
+			if r.Offset < base || r.Offset+r.Length > base+region {
+				t.Fatalf("pid %d touches [%d,%d) outside its region [%d,%d)",
+					r.PID, r.Offset, r.Offset+r.Length, base, base+region)
+			}
+			// The trailing quarter of each region stays untouched so one
+			// worker's read-ahead cannot warm a neighbour's pages.
+			if r.Offset+r.Length > base+region*3/4+(64<<10) {
+				t.Fatalf("pid %d read at %d intrudes into the prefetch gap", r.PID, r.Offset)
+			}
+			if r.Op == trace.OpWrite {
+				writes++
+			}
+		}
+	}
+	for pid := uint32(0); pid < 8; pid++ {
+		if opens[pid] != 1 {
+			t.Fatalf("pid %d has %d opens, want exactly 1 (no implicit opens)", pid, opens[pid])
+		}
+	}
+	if writes == 0 {
+		t.Fatal("Parallel generated no writes; write-back has nothing to do")
+	}
+	// Dispatchable and deterministic like the paper apps.
+	a, err := Generate("Parallel", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("Parallel", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := trace.Write(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("Parallel generator not deterministic")
+	}
+}

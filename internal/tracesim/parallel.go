@@ -4,17 +4,32 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/fsim"
 	"repro/internal/trace"
 )
 
+// laneStore is the store capability concurrent replay uses to give each
+// worker its own virtual timeline; *fsim.FileStore implements it. Stores
+// without it (the OS passthrough) fall back to shared-clock replay.
+type laneStore interface {
+	NewSession() *fsim.Session
+	Settle() (time.Time, time.Duration)
+}
+
 // ReplayConcurrent replays a multi-process trace with one goroutine per
 // process id, each with its own file handle — the execution structure of
 // the traced parallel applications (Pgrep's four workers, §3.1). Records
 // keep their per-PID order; cross-PID interleaving is whatever the
-// scheduler produces, as it was on the original machine. The aggregate
-// report merges all processes.
+// scheduler produces, as it was on the original machine.
+//
+// On a session-capable store each worker replays on its own
+// virtual-time lane with a private disk view, so the workers are
+// simulated-parallel, not just wall-parallel: the merged report's
+// Elapsed is the longest lane plus the final settle (max-over-workers,
+// the overlap rule), while WorkerTime keeps the summed view. The
+// aggregate report merges all processes.
 func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -35,26 +50,39 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
+	ls, hasLanes := rp.store.(laneStore)
+
 	// Each worker replays its own records into a private report; reports
 	// merge afterwards, so no lock sits on the replay hot path.
 	reports := make([]*Report, len(pids))
 	errs := make([]error, len(pids))
+	sessions := make([]*fsim.Session, 0, len(pids))
 	var wg sync.WaitGroup
 	for i, pid := range pids {
+		st := rp.store
+		if hasLanes {
+			sess := ls.NewSession()
+			sessions = append(sessions, sess)
+			st = sess
+		}
 		wg.Add(1)
-		go func(i int, recs []*trace.Record) {
+		go func(i int, st fsim.Store, recs []*trace.Record) {
 			defer wg.Done()
-			reports[i], errs[i] = rp.replayRecords(appName, tr.Header.SampleFile, recs)
-		}(i, byPID[pid])
+			reports[i], errs[i] = rp.replayRecords(st, appName, tr.Header.SampleFile, recs)
+		}(i, st, byPID[pid])
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			for _, sess := range sessions {
+				sess.Release()
+			}
 			return nil, err
 		}
 	}
 
 	merged := &Report{App: appName}
+	var longest time.Duration
 	for _, r := range reports {
 		merged.Open.Merge(&r.Open)
 		merged.Close.Merge(&r.Close)
@@ -62,7 +90,24 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		merged.Write.Merge(&r.Write)
 		merged.Seek.Merge(&r.Seek)
 		merged.Requests = append(merged.Requests, r.Requests...)
-		merged.Elapsed += r.Elapsed
+		merged.WorkerTime += r.Elapsed
+		if r.Elapsed > longest {
+			longest = r.Elapsed
+		}
+	}
+	if hasLanes {
+		// Overlap rule: the parallel machine finishes with its slowest
+		// worker, then settles buffered writes (a deterministic elevator
+		// sweep, or the background flushers when write-back is on).
+		_, settle := ls.Settle()
+		merged.Elapsed = longest + settle
+		// The lanes' final times are folded into the timeline by Release,
+		// so repeated replays on one store do not accumulate dead lanes.
+		for _, sess := range sessions {
+			sess.Release()
+		}
+	} else {
+		merged.Elapsed = merged.WorkerTime
 	}
 	// Re-index the merged request rows.
 	for i := range merged.Requests {
@@ -71,10 +116,11 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 	return merged, nil
 }
 
-// replayRecords executes one process's record sequence. A worker whose
-// first data operation precedes its own open record inherits an implicit
-// open, as the shared-handle traces of the paper do.
-func (rp *Replayer) replayRecords(appName, sample string, recs []*trace.Record) (*Report, error) {
+// replayRecords executes one process's record sequence against st (the
+// worker's session, or the shared store). A worker whose first data
+// operation precedes its own open record inherits an implicit open, as
+// the shared-handle traces of the paper do.
+func (rp *Replayer) replayRecords(st fsim.Store, appName, sample string, recs []*trace.Record) (*Report, error) {
 	rep := &Report{App: appName}
 	var f fsim.File
 	var buf []byte
@@ -87,7 +133,7 @@ func (rp *Replayer) replayRecords(appName, sample string, recs []*trace.Record) 
 		if f == nil && rec.Op != trace.OpOpen {
 			// Implicit open: multi-process traces often record one open
 			// for the group.
-			file, dur, err := rp.store.Open(sample)
+			file, dur, err := st.Open(sample)
 			if err != nil {
 				return nil, err
 			}
@@ -96,7 +142,7 @@ func (rp *Replayer) replayRecords(appName, sample string, recs []*trace.Record) 
 			rep.Elapsed += dur
 		}
 		for c := uint32(0); c < rec.Count; c++ {
-			d, err := rp.step(rep, &f, &buf, rec, sample)
+			d, err := rp.step(st, rep, &f, &buf, rec, sample)
 			if err != nil {
 				return nil, fmt.Errorf("tracesim: pid %d record %d (%s): %w", rec.PID, i, rec.Op, err)
 			}

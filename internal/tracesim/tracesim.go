@@ -40,9 +40,18 @@ type Report struct {
 	Open, Close, Read, Write, Seek metrics.Summary
 	// Requests lists each data request in trace order.
 	Requests []RequestTiming
-	// Elapsed is the total replay duration on the store's clock,
-	// including think time when the replay is paced.
+	// Elapsed is the replay's simulated duration. Serial replay charges
+	// every operation to one clock, so this is the sum of all operation
+	// times (plus think time when paced). Concurrent replay on a
+	// session-capable store overlaps workers: Elapsed is then the longest
+	// worker lane plus any final settle flush — the parallel machine's
+	// wall-style elapsed time.
 	Elapsed time.Duration
+	// WorkerTime is the total simulated time summed across workers (the
+	// serialized-time view): Elapsed and WorkerTime coincide for serial
+	// replay, and WorkerTime/Elapsed is the simulated-parallel speedup
+	// for concurrent replay.
+	WorkerTime time.Duration
 	// ThinkTime is the total inter-record wall-clock gap charged by a
 	// paced replay (zero otherwise).
 	ThinkTime time.Duration
@@ -133,7 +142,7 @@ func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
 		}
 		prevWall = rec.WallClock
 		for c := uint32(0); c < rec.Count; c++ {
-			d, err := rp.step(rep, &f, &buf, rec, tr.Header.SampleFile)
+			d, err := rp.step(rp.store, rep, &f, &buf, rec, tr.Header.SampleFile)
 			if err != nil {
 				return nil, fmt.Errorf("tracesim: record %d (%s): %w", i, rec.Op, err)
 			}
@@ -141,17 +150,19 @@ func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
 		}
 	}
 	rep.Elapsed = elapsed
+	rep.WorkerTime = elapsed
 	return rep, nil
 }
 
-// step executes one expanded trace record.
-func (rp *Replayer) step(rep *Report, f *fsim.File, buf *[]byte, rec *trace.Record, sample string) (time.Duration, error) {
+// step executes one expanded trace record against st (the replayer's
+// store, or one worker's session of it).
+func (rp *Replayer) step(st fsim.Store, rep *Report, f *fsim.File, buf *[]byte, rec *trace.Record, sample string) (time.Duration, error) {
 	switch rec.Op {
 	case trace.OpOpen:
 		if *f != nil {
 			(*f).Close()
 		}
-		file, dur, err := rp.store.Open(sample)
+		file, dur, err := st.Open(sample)
 		if err != nil {
 			return 0, err
 		}

@@ -70,6 +70,19 @@ type Config struct {
 	// all connections from a fixed pool instead — the ablation
 	// BenchmarkAblationServerModel compares the two.
 	PoolSize int
+	// Lanes gives every connection its own virtual-time session when the
+	// store supports it (fsim.FileStore): concurrent requests then
+	// advance simulated time in parallel — max-over-connections — the
+	// way they overlap on real hardware, instead of serializing on the
+	// store's one clock. Off by default: the paper's tables are produced
+	// on the shared clock.
+	Lanes bool
+}
+
+// laneStore is the store capability Lanes uses; *fsim.FileStore
+// implements it.
+type laneStore interface {
+	NewSession() *fsim.Session
 }
 
 // Server is the multithreaded web server.
@@ -215,8 +228,20 @@ func (s *Server) record(r RequestRecord) {
 // startListen is the per-connection worker (§4.1's StartListen): create a
 // network stream, read the incoming data into a byte array, parse it, and
 // dispatch. Connections are persistent: the worker serves requests until
-// the peer closes.
+// the peer closes. With Lanes on, the worker's file I/O runs on its own
+// virtual-time session.
 func (s *Server) startListen(conn net.Conn) {
+	st := s.cfg.Store
+	if s.cfg.Lanes {
+		if ls, ok := st.(laneStore); ok {
+			sess := ls.NewSession()
+			// Retire the lane when the connection ends: its time folds
+			// into the store's timeline, so long-running servers do not
+			// accumulate dead lanes.
+			defer sess.Release()
+			st = sess
+		}
+	}
 	ns := vm.NewNetworkStream(s.cfg.Runtime, conn)
 	defer ns.Close()
 	br := bufio.NewReader(readerFunc(ns.Read))
@@ -230,9 +255,9 @@ func (s *Server) startListen(conn net.Conn) {
 		}
 		switch req.kind {
 		case KindGet:
-			s.doGet(ns, req)
+			s.doGet(ns, st, req)
 		case KindPost:
-			s.doPost(ns, req)
+			s.doPost(ns, st, req)
 		default:
 			writeResponse(ns, 400, "unsupported method", 0)
 		}
@@ -290,8 +315,8 @@ func parseRequest(br *bufio.Reader, rt *vm.Runtime) (request, error) {
 // doGet reads the requested file and sends it back. The recorded read
 // time covers creating the FileStream, reading the data, and closing the
 // stream (§4.1).
-func (s *Server) doGet(ns *vm.NetworkStream, req request) {
-	stream, openDur, err := vm.OpenFileStream(s.cfg.Runtime, s.cfg.Store, req.file)
+func (s *Server) doGet(ns *vm.NetworkStream, st fsim.Store, req request) {
+	stream, openDur, err := vm.OpenFileStream(s.cfg.Runtime, st, req.file)
 	if err != nil {
 		writeResponse(ns, 404, fmt.Sprintf("not found: %s", req.file), 0)
 		return
@@ -310,12 +335,12 @@ func (s *Server) doGet(ns *vm.NetworkStream, req request) {
 // doPost writes the request body to a new file named by the server's
 // deterministic id generator (the paper uses a random number generator —
 // fresh names mean no write synchronization is needed).
-func (s *Server) doPost(ns *vm.NetworkStream, req request) {
+func (s *Server) doPost(ns *vm.NetworkStream, st fsim.Store, req request) {
 	s.mu.Lock()
 	s.nextID++
 	name := fmt.Sprintf("post-%d", s.nextID)
 	s.mu.Unlock()
-	stream, createDur, err := vm.CreateFileStream(s.cfg.Runtime, s.cfg.Store, name, nil)
+	stream, createDur, err := vm.CreateFileStream(s.cfg.Runtime, st, name, nil)
 	if err != nil {
 		writeResponse(ns, 500, fmt.Sprintf("create failed: %v", err), 0)
 		return

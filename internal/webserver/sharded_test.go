@@ -90,3 +90,89 @@ func TestConcurrentClientsShardedCache(t *testing.T) {
 		t.Fatalf("server ran on %d stripes, want >= 4", cache.NumShards())
 	}
 }
+
+// TestConcurrentClientsLaneSessions serves the corpus with per-connection
+// virtual-time lanes over a write-back store: every connection's file I/O
+// advances its own session clock, so simulated serving time overlaps
+// across connections instead of serializing on the store clock. Run
+// under -race this covers the session path end to end on the serving
+// side: exact bytes back, a lane per connection, and a clean settle.
+func TestConcurrentClientsLaneSessions(t *testing.T) {
+	cfg := fsim.ShardedConfig()
+	cfg.Cache.WritebackThreshold = 8
+	store := fsim.MustNewFileStore(cfg)
+	defer store.Close()
+	if err := workload.Install(store, workload.WebCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	store.Cache().Invalidate()
+	baseLanes := store.Timeline().Lanes()
+	rt := vm.MustNew(vm.DefaultConfig(), nil)
+	rt.RegisterBCL()
+	srv, err := New(Config{Store: store, Runtime: rt, Lanes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	corpus := workload.WebCorpus()
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			idx := i % len(corpus)
+			spec := corpus[idx]
+			resp, err := cl.Get(spec.Name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Install seeds payloads by 1-based corpus position.
+			if !bytes.Equal(resp.Body, workload.Payload(uint64(idx+1), spec.Size)) {
+				errs[i] = fmt.Errorf("client %d: wrong bytes for %s", i, spec.Name)
+				return
+			}
+			if _, err := cl.Post(fmt.Sprintf("upload-%d", i), resp.Body); err != nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(srv.Records()); n != 2*clients {
+		t.Fatalf("recorded %d requests, want %d", n, 2*clients)
+	}
+	srv.Close()
+	// Every connection's lane was released on close, and its time folded
+	// into the timeline floor rather than lost.
+	if got := store.Timeline().Lanes(); got != baseLanes {
+		t.Fatalf("timeline holds %d lanes after close, want %d (sessions released)", got, baseLanes)
+	}
+	if !store.Timeline().MaxNow().After(store.Timeline().Start()) {
+		t.Fatal("released lanes left no simulated time behind")
+	}
+	if store.TotalDiskStats().Ops() == 0 {
+		t.Fatal("released sessions' disk traffic vanished from the totals")
+	}
+	store.Settle()
+	if got := store.Cache().DirtyPages(); got != 0 {
+		t.Fatalf("%d dirty pages survived the settle", got)
+	}
+}
