@@ -24,11 +24,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Machine-readable bench trajectory: the shard/worker scaling and
-# write-back ablation of the simulated-parallel replay. CI uploads the
-# file as an artifact; the committed copy tracks the trajectory in-repo.
+# Machine-readable bench trajectory: the hot-path microbenchmarks, the
+# shard/worker scaling, and the write-back ablation of the
+# simulated-parallel replay. CI uploads the file as an artifact; the
+# committed copy tracks the trajectory in-repo and doubles as the
+# regression baseline — the run fails if the engine warm-read row
+# (cache_warm_read_64k) regresses more than 25% against it. A failed
+# run leaves the baseline untouched and writes the regressed report to
+# BENCH_4.json.failed.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) run ./cmd/benchjson -out BENCH_4.json -baseline BENCH_4.json
 
 fmt:
 	gofmt -w .

@@ -47,6 +47,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker processes for -app Parallel (0 = its default)")
 		writeback  = flag.Int("writeback", 0, "background write-back threshold in dirty pages per stripe (0 = flush on close)")
 		wbBatch    = flag.Int("writeback-batch", 0, "pages per scheduled write-back drain (0 = whole dirty set)")
+		wbHigh     = flag.Int("writeback-highwater", 0, "dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
 		sched      = flag.String("sched", "fcfs", "write-back disk scheduling policy: fcfs | sstf | scan")
 	)
 	flag.Parse()
@@ -152,6 +153,7 @@ func main() {
 		cfg.Cache.Shards = resolveShards(*shards)
 		cfg.Cache.WritebackThreshold = *writeback
 		cfg.Cache.WritebackBatch = *wbBatch
+		cfg.Cache.WritebackHighwater = *wbHigh
 		cfg.Cache.WritebackPolicy = policy
 		s, err := fsim.NewFileStore(cfg)
 		if err != nil {

@@ -39,6 +39,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "page-cache lock stripes for serve mode (power of two); 0 = derive from GOMAXPROCS")
 		lanes     = flag.Bool("lanes", false, "serve mode: give every connection its own virtual-time session")
 		writeback = flag.Int("writeback", 0, "serve mode: background write-back threshold in dirty pages per stripe (0 = off)")
+		wbHigh    = flag.Int("writeback-highwater", 0, "serve mode: dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
 		sched     = flag.String("sched", "fcfs", "serve mode: write-back scheduling policy: fcfs | sstf | scan")
 	)
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 	case "tables":
 		runTables()
 	case "serve":
-		runServe(*addr, *shards, *lanes, *writeback, *sched)
+		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched)
 	case "load":
 		runLoad(*target, *clients, *requests, *posts)
 	default:
@@ -74,7 +75,7 @@ func runTables() {
 	fmt.Println(fig.RenderLines(44, 10))
 }
 
-func runServe(addr string, shards int, lanes bool, writeback int, sched string) {
+func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched string) {
 	cfg := fsim.DefaultConfig()
 	if shards == 0 {
 		shards = buffercache.AutoShards()
@@ -85,6 +86,7 @@ func runServe(addr string, shards int, lanes bool, writeback int, sched string) 
 		fatal(err)
 	}
 	cfg.Cache.WritebackThreshold = writeback
+	cfg.Cache.WritebackHighwater = wbHigh
 	cfg.Cache.WritebackPolicy = policy
 	store, err := fsim.NewFileStore(cfg)
 	if err != nil {

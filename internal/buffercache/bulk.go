@@ -1,0 +1,355 @@
+// Bulk, run-granular cache operations: the hot data path.
+//
+// The page-granular path (touchHit / isResident / installPage, retained
+// for the equivalence tests behind SetPageGranular) pays a full mutex
+// round-trip, map lookup, LRU splice, and floating-point copy-cost
+// division per 4 KB page — a warm 64 KB read is 16 lock acquisitions,
+// and a miss run looks every page up twice. The bulk path partitions
+// the page range into per-shard runs and processes each run under a
+// single lock acquisition: one stripe hash per run, one batched hit
+// count and LRU refresh, and the residency frontier returned from the
+// lookup so miss runs are never probed twice. The warm loop charges the
+// per-page copy cost precomputed at New, so it does integer adds only.
+//
+// Behavioral contract: the bulk path performs the same residency, LRU,
+// eviction, and statistics transitions in the same order as the
+// page-granular path, so simulated timing is bit-identical —
+// TestBulkMatchesPageGranular (and tracesim's equivalence test) pin it.
+package buffercache
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// shardRunEnd returns the last page of the maximal run [page..last]
+// whose pages all hash to shard si. With a single stripe that is the
+// whole range; with more, fibonacci hashing scatters consecutive pages,
+// so runs shrink toward single pages (locking then is the scalability
+// mechanism, not batching).
+func (c *Cache) shardRunEnd(si int, page, last int64) int64 {
+	if c.shardShift == 0 {
+		return last
+	}
+	end := page
+	for end < last && c.shardIndex(end+1) == si {
+		end++
+	}
+	return end
+}
+
+// lookupRun consumes the leading resident pages of [from..to] (all in
+// shard s) as hits — batched statistics, per-page LRU refresh in
+// ascending order, exactly the transitions touchHit performs — then
+// scans the non-resident extent that follows, all under one lock
+// acquisition. It returns the number of leading hits, the last page of
+// the following miss extent (missEnd < from+nHits when there is none),
+// and whether the extent ran off the end of the run still missing (the
+// caller then extends it into the next shard run).
+func (s *shard) lookupRun(from, to int64) (nHits, missEnd int64, open bool) {
+	s.mu.Lock()
+	p := from
+	var pfHits int64
+	for p <= to {
+		f, ok := s.resident[p]
+		if !ok {
+			break
+		}
+		if f.prefetched {
+			pfHits++
+			f.prefetched = false
+		}
+		s.lru.moveToFront(f)
+		p++
+	}
+	nHits = p - from
+	if nHits > 0 {
+		s.stats.Hits += nHits
+		s.stats.PrefetchHits += pfHits
+	}
+	if p > to {
+		s.mu.Unlock()
+		return nHits, p - 1, false
+	}
+	for p <= to {
+		if _, ok := s.resident[p]; ok {
+			break
+		}
+		p++
+	}
+	s.mu.Unlock()
+	return nHits, p - 1, p > to
+}
+
+// scanMissRun extends a miss run into [from..to] (all in shard s): it
+// returns the last consecutive non-resident page (from-1 when the first
+// page is resident) and whether the scan ran off the end of the run
+// still missing. One lock acquisition replaces a per-page isResident
+// probe.
+func (s *shard) scanMissRun(from, to int64) (missEnd int64, open bool) {
+	s.mu.Lock()
+	p := from
+	for p <= to {
+		if _, ok := s.resident[p]; ok {
+			break
+		}
+		p++
+	}
+	s.mu.Unlock()
+	return p - 1, p > to
+}
+
+// installRun makes [from..to] (all in shard s, ascending) resident
+// under one lock acquisition, with the same per-page transitions as
+// installPage: already-resident pages are touched (and dirtied when
+// asked), missing pages take a frame from the stripe's free list, then
+// evict the stripe's own LRU, and as a last resort drop the lock to
+// harvest or reclaim from a sibling. When advance is set each eviction
+// is charged at the running write-back horizon (the write path's
+// accounting); otherwise every eviction is charged at now (the read
+// path's). It returns the count of freshly installed pages, the
+// stripe's dirty count after the run, whether any page transitioned
+// clean->dirty, and the final horizon.
+func (s *shard) installRun(c *Cache, io *IO, now time.Time, from, to int64, dirty, prefetched, count, advance bool) (fresh int64, dirtyCount int, dirtied bool, horizon time.Time) {
+	horizon = now
+	s.mu.Lock()
+	for p := from; p <= to; p++ {
+		for {
+			if f, ok := s.resident[p]; ok {
+				if count {
+					s.stats.Hits++
+				}
+				if dirty && !f.dirty {
+					f.dirty = true
+					s.dirty++
+					s.noteDirtyLocked(c, p, f)
+					dirtied = true
+				}
+				s.lru.moveToFront(f)
+				break
+			}
+			// used == NumPages means every frame in the budget is resident:
+			// the pool and every stripe's free list are provably empty, so
+			// the steady eviction state skips the pool lock and the sibling
+			// TryLock sweep entirely.
+			var f *frame
+			if c.used.Load() < int64(c.cfg.NumPages) {
+				if f = c.popFreeLocked(s); f == nil {
+					f = c.harvestFreeLocked(s)
+				}
+			}
+			if f == nil {
+				if victim := s.lru.back(); victim != nil {
+					at := now
+					if advance {
+						at = horizon
+					}
+					done := s.evictLocked(c, io, at, victim)
+					if done.After(horizon) {
+						horizon = done
+					}
+					f = victim
+				}
+			}
+			if f == nil {
+				// Budget exhausted and nothing local to evict: the sibling
+				// harvest/reclaim takes other stripes' locks, so drop ours
+				// and retry this page, as installPage does.
+				s.mu.Unlock()
+				at := now
+				if advance {
+					at = horizon
+				}
+				done, ok := c.reclaimFrame(io, at)
+				if done.After(horizon) {
+					horizon = done
+				}
+				if !ok {
+					runtime.Gosched() // frames are in flight; let holders finish
+				}
+				s.mu.Lock()
+				continue
+			}
+			if count {
+				s.stats.Misses++
+			}
+			f.page = p
+			f.dirty = dirty
+			f.prefetched = prefetched
+			s.resident[p] = f
+			s.lru.pushFront(f)
+			s.size.Add(1)
+			c.used.Add(1)
+			if dirty {
+				s.dirty++
+				s.noteDirtyLocked(c, p, f)
+				dirtied = true
+			}
+			fresh++
+			break
+		}
+	}
+	dirtyCount = s.dirty
+	s.mu.Unlock()
+	return fresh, dirtyCount, dirtied, horizon
+}
+
+// installRange installs [first..last] by per-shard runs, returning the
+// number of freshly installed pages and the furthest eviction horizon.
+// The install order, and so every eviction decision, matches the
+// page-granular loop page for page.
+func (c *Cache) installRange(io *IO, now time.Time, first, last int64, dirty, prefetched, count, advance bool) (fresh int64, horizon time.Time) {
+	horizon = now
+	page := first
+	for page <= last {
+		si := c.shardIndex(page)
+		runEnd := c.shardRunEnd(si, page, last)
+		at := now
+		if advance {
+			at = horizon
+		}
+		n, dc, dirtied, h := c.shards[si].installRun(c, io, at, page, runEnd, dirty, prefetched, count, advance)
+		fresh += n
+		if h.After(horizon) {
+			horizon = h
+		}
+		if dirtied {
+			c.maybeSignalWriteback(si, dc, at)
+		}
+		page = runEnd + 1
+	}
+	return fresh, horizon
+}
+
+// ReadIO simulates reading [offset, offset+length) on io's backend view
+// and stream state. Resident pages cost memory copies; missing pages are
+// fetched from the backend in contiguous runs, optionally extended by
+// the read-ahead window when the access pattern is sequential. This is
+// the bulk hot path: warm spans cost one lock acquisition per shard run
+// and integer time arithmetic only.
+func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
+	if c.pageGranular {
+		return c.readIOPages(io, now, offset, length)
+	}
+	if length < 0 {
+		length = 0
+	}
+	first, last := c.pageRange(offset, length)
+	if last < first { // zero-length read: lookup cost only
+		d := now.Add(c.cfg.HitOverhead)
+		return d, d.Sub(now)
+	}
+
+	sequential := io.noteRead(first, last)
+
+	done := now
+	page := first
+	for page <= last {
+		si := c.shardIndex(page)
+		runEnd := c.shardRunEnd(si, page, last)
+		nHits, missEnd, open := c.shards[si].lookupRun(page, runEnd)
+		if nHits > 0 {
+			done = done.Add(time.Duration(nHits) * c.hitPageCost)
+			page += nHits
+			if page > runEnd {
+				continue // run fully warm; next shard run
+			}
+		}
+		// Miss run starting at page; extend across shard runs while the
+		// frontier keeps missing, one locked scan per run.
+		missStart := page
+		for open && missEnd < last {
+			nsi := c.shardIndex(missEnd + 1)
+			nEnd := c.shardRunEnd(nsi, missEnd+1, last)
+			var e int64
+			e, open = c.shards[nsi].scanMissRun(missEnd+1, nEnd)
+			if e < missEnd+1 {
+				break
+			}
+			missEnd = e
+		}
+		nDemand := missEnd - missStart + 1
+		rs := c.shardOf(missStart)
+		rs.mu.Lock()
+		rs.stats.Misses += nDemand
+		rs.stats.BytesFromDisk += nDemand * c.cfg.PageSize
+		rs.mu.Unlock()
+		diskDone, _ := io.backend.Access(done, simdisk.Request{
+			Offset: missStart * c.cfg.PageSize,
+			Length: nDemand * c.cfg.PageSize,
+		})
+		done = diskDone
+		c.installRange(io, done, missStart, missEnd, false, false, false, false)
+		// Asynchronous read-ahead: queue the next window behind the
+		// demand fetch. It occupies the disk but is not charged to this
+		// read — later sequential reads find the pages resident.
+		if sequential && c.cfg.PrefetchPages > 0 {
+			pfStart := missEnd + 1
+			pfEnd := missEnd + int64(c.cfg.PrefetchPages)
+			io.backend.Access(diskDone, simdisk.Request{
+				Offset: pfStart * c.cfg.PageSize,
+				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
+			})
+			brought, _ := c.installRange(io, diskDone, pfStart, pfEnd, false, true, false, false)
+			if brought > 0 {
+				rs.mu.Lock()
+				rs.stats.PrefetchedIn += brought
+				rs.stats.BytesFromDisk += brought * c.cfg.PageSize
+				rs.mu.Unlock()
+			}
+		}
+		// Copy the demanded part of the run to the caller.
+		done = done.Add(c.copyCost(nDemand * c.cfg.PageSize))
+		page = missEnd + 1
+	}
+	return done, done.Sub(now)
+}
+
+// WriteIO simulates writing [offset, offset+length) on io's backend
+// view. With write-behind the pages are dirtied in memory at copy cost;
+// otherwise the data also goes straight to the backend. Bulk path: one
+// lock acquisition per shard run, with eviction write-backs threaded
+// through the running horizon exactly as the page-granular loop charges
+// them.
+func (c *Cache) WriteIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
+	if c.pageGranular {
+		return c.writeIOPages(io, now, offset, length)
+	}
+	if length < 0 {
+		length = 0
+	}
+	done := now
+	first, last := c.pageRange(offset, length)
+	if last < first {
+		d := now.Add(c.cfg.HitOverhead)
+		return d, d.Sub(now)
+	}
+	page := first
+	for page <= last {
+		si := c.shardIndex(page)
+		runEnd := c.shardRunEnd(si, page, last)
+		_, dc, dirtied, horizon := c.shards[si].installRun(c, io, done, page, runEnd, c.cfg.WriteBehind, false, true, true)
+		if horizon.After(done) {
+			done = horizon // eviction write-back stalled us
+		}
+		if dirtied {
+			c.maybeSignalWriteback(si, dc, done)
+			if c.cfg.WritebackHighwater > 0 && dc >= c.cfg.WritebackHighwater {
+				done = c.stallHighwater(si, done)
+			}
+		}
+		page = runEnd + 1
+	}
+	done = done.Add(c.copyCost(length))
+	if !c.cfg.WriteBehind {
+		diskDone, _ := io.backend.Access(done, simdisk.Request{Offset: offset, Length: length, Write: true})
+		s := c.shardOf(first)
+		s.mu.Lock()
+		s.stats.BytesToDisk += length
+		s.mu.Unlock()
+		done = diskDone
+	}
+	return done, done.Sub(now)
+}

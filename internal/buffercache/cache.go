@@ -11,18 +11,29 @@
 // timing is simulated and deterministic for a single-threaded caller.
 //
 // Concurrency: the cache is lock-striped. Pages hash onto a power-of-two
-// number of shards, each with its own mutex, LRU list, and dirty set, so
-// goroutines touching different stripes never contend. The memory budget
-// (Config.NumPages) stays global: frames live in a shared pool, an atomic
-// gauge tracks residency, and a stripe under pressure first drains the
-// pool, then evicts its own LRU, and finally reclaims a frame from the
-// fullest sibling — so capacity flows to hot stripes instead of being
-// statically partitioned. Shards == 1 reproduces the original
-// single-mutex cache's per-operation behavior exactly, including its
-// eviction order, which is what the paper-fidelity experiments run. The
-// one deliberate change is Flush: it now sweeps dirty pages in ascending
-// page order (the old implementation walked a Go map, so its simulated
-// sweep timing varied run to run).
+// number of shards, each with its own mutex, LRU list, dirty set, and
+// slice of the frame pool, so goroutines touching different stripes
+// never contend. The memory budget (Config.NumPages) stays global:
+// free frames flow from a shared pool into per-stripe free lists in
+// batches, an atomic gauge tracks residency, and a stripe under
+// pressure first drains its free frames, then harvests a frame stranded
+// on a sibling's list, then evicts its own LRU, and finally reclaims a
+// frame from the fullest sibling — so capacity flows to hot stripes
+// instead of being statically partitioned, and eviction begins only
+// once the whole budget is resident. Shards == 1 reproduces the
+// original single-mutex cache's per-operation behavior exactly,
+// including its eviction order, which is what the paper-fidelity
+// experiments run. The one deliberate change is Flush: it now sweeps
+// dirty pages in ascending page order (the old implementation walked a
+// Go map, so its simulated sweep timing varied run to run).
+//
+// Hot path: ReadIO and WriteIO (bulk.go) process the page range in
+// per-shard runs — one lock acquisition, one batched stats update, and
+// one LRU refresh pass per run, with the per-page copy cost precomputed
+// at New — instead of a mutex round-trip and float division per page.
+// The retained page-granular path behind SetPageGranular performs
+// identical transitions; equivalence tests replay workloads through
+// both and assert bit-identical timing.
 package buffercache
 
 import (
@@ -77,6 +88,13 @@ type Config struct {
 	// WritebackPolicy orders each write-back batch (FCFS, SSTF, SCAN)
 	// when the backend supports batch scheduling.
 	WritebackPolicy simdisk.SchedPolicy
+	// WritebackHighwater is the dirty-page high-water mark per stripe:
+	// a write that leaves a stripe's dirty set at or above it stalls the
+	// foreground writer until the stripe drains through the background
+	// write-back queue, modelling pdflush throttling. Zero (the default)
+	// never stalls writers; a positive value requires background
+	// write-back (WritebackThreshold > 0).
+	WritebackHighwater int
 }
 
 // defaultShards is the process-wide shard count DefaultConfig hands out:
@@ -89,28 +107,37 @@ var defaultShards atomic.Int32
 // SetDefaultWriteback enabled it. The core options registry sets these
 // for the writeback / sched_policy config keys.
 var (
-	defaultWriteback       atomic.Int32
-	defaultWritebackBatch  atomic.Int32
-	defaultWritebackPolicy atomic.Int32
+	defaultWriteback          atomic.Int32
+	defaultWritebackBatch     atomic.Int32
+	defaultWritebackPolicy    atomic.Int32
+	defaultWritebackHighwater atomic.Int32
 )
 
 // SetDefaultWriteback sets the write-back threshold, per-drain batch
-// cap (0 = unbounded), and scheduling policy DefaultConfig bakes into
-// the configurations it returns; threshold 0 restores
-// flush-on-close-only. Call once at startup; it is not safe to race
-// with running experiments.
-func SetDefaultWriteback(threshold, batch int, policy simdisk.SchedPolicy) error {
+// cap (0 = unbounded), dirty-page high-water mark (0 = never stall
+// writers), and scheduling policy DefaultConfig bakes into the
+// configurations it returns; threshold 0 restores flush-on-close-only.
+// Call once at startup; it is not safe to race with running
+// experiments.
+func SetDefaultWriteback(threshold, batch, highwater int, policy simdisk.SchedPolicy) error {
 	if threshold < 0 {
 		return fmt.Errorf("buffercache: default write-back threshold %d must be non-negative", threshold)
 	}
 	if batch < 0 {
 		return fmt.Errorf("buffercache: default write-back batch %d must be non-negative", batch)
 	}
+	if highwater < 0 {
+		return fmt.Errorf("buffercache: default write-back high-water mark %d must be non-negative", highwater)
+	}
+	if highwater > 0 && threshold == 0 {
+		return fmt.Errorf("buffercache: write-back high-water mark %d requires background write-back (threshold > 0)", highwater)
+	}
 	if !policy.Valid() {
 		return fmt.Errorf("buffercache: invalid default scheduling policy %v", policy)
 	}
 	defaultWriteback.Store(int32(threshold))
 	defaultWritebackBatch.Store(int32(batch))
+	defaultWritebackHighwater.Store(int32(highwater))
 	defaultWritebackPolicy.Store(int32(policy))
 	return nil
 }
@@ -160,6 +187,7 @@ func DefaultConfig() Config {
 		WritebackThreshold: int(defaultWriteback.Load()),
 		WritebackBatch:     int(defaultWritebackBatch.Load()),
 		WritebackPolicy:    simdisk.SchedPolicy(defaultWritebackPolicy.Load()),
+		WritebackHighwater: int(defaultWritebackHighwater.Load()),
 	}
 }
 
@@ -191,6 +219,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("buffercache: write-back threshold %d must be non-negative", c.WritebackThreshold)
 	case c.WritebackBatch < 0:
 		return fmt.Errorf("buffercache: write-back batch %d must be non-negative", c.WritebackBatch)
+	case c.WritebackHighwater < 0:
+		return fmt.Errorf("buffercache: write-back high-water mark %d must be non-negative", c.WritebackHighwater)
+	case c.WritebackHighwater > 0 && c.WritebackThreshold == 0:
+		return fmt.Errorf("buffercache: write-back high-water mark %d requires background write-back (threshold > 0)", c.WritebackHighwater)
 	case !c.WritebackPolicy.Valid():
 		return fmt.Errorf("buffercache: invalid scheduling policy %v", c.WritebackPolicy)
 	}
@@ -199,16 +231,17 @@ func (c Config) Validate() error {
 
 // Stats counts cache activity.
 type Stats struct {
-	Hits             int64
-	Misses           int64
-	PrefetchedIn     int64 // pages brought in by read-ahead
-	PrefetchHits     int64 // hits on pages that read-ahead brought in
-	Evictions        int64
-	DirtyFlushes     int64 // pages written back (eviction, Flush, or write-back)
-	WritebackPages   int64 // pages retired by the background flushers
-	WritebackBatches int64 // scheduled drains the flushers submitted
-	BytesFromDisk    int64
-	BytesToDisk      int64
+	Hits               int64
+	Misses             int64
+	PrefetchedIn       int64 // pages brought in by read-ahead
+	PrefetchHits       int64 // hits on pages that read-ahead brought in
+	Evictions          int64
+	DirtyFlushes       int64 // pages written back (eviction, Flush, or write-back)
+	WritebackPages     int64 // pages retired by the background flushers
+	WritebackBatches   int64 // scheduled drains the flushers submitted
+	WritebackThrottles int64 // foreground writes stalled at the dirty high-water mark
+	BytesFromDisk      int64
+	BytesToDisk        int64
 }
 
 // add accumulates other into s.
@@ -221,6 +254,7 @@ func (s *Stats) add(other Stats) {
 	s.DirtyFlushes += other.DirtyFlushes
 	s.WritebackPages += other.WritebackPages
 	s.WritebackBatches += other.WritebackBatches
+	s.WritebackThrottles += other.WritebackThrottles
 	s.BytesFromDisk += other.BytesFromDisk
 	s.BytesToDisk += other.BytesToDisk
 }
@@ -316,6 +350,16 @@ type Cache struct {
 	// defIO is the context the plain (non-IO) methods run on.
 	defIO *IO
 
+	// hitPageCost is copyCost(PageSize) precomputed at New, so the warm
+	// read loop charges hits with integer arithmetic only.
+	hitPageCost time.Duration
+
+	// pageGranular routes ReadIO/WriteIO through the original per-page
+	// path instead of the bulk run path. Test-only (SetPageGranular):
+	// the equivalence suites replay workloads through both and assert
+	// identical timing and statistics.
+	pageGranular bool
+
 	// wb is the background write-back subsystem; nil when disabled.
 	// wbBackend is the disk view its drains are timed against — the
 	// cache's own backend unless SetWritebackBackend installed a private
@@ -350,10 +394,14 @@ func New(cfg Config, backend Backend) (*Cache, error) {
 		pool:       make([]*frame, 0, cfg.NumPages),
 	}
 	for i := range c.shards {
-		c.shards[i] = &shard{resident: make(map[int64]*frame, cfg.NumPages/nShards+1)}
+		c.shards[i] = &shard{
+			resident: make(map[int64]*frame, cfg.NumPages/nShards+1),
+			free:     make([]*frame, 0, poolRefillBatch),
+		}
 	}
 	c.defIO = c.NewIO(backend)
 	c.wbBackend = backend
+	c.hitPageCost = c.copyCost(cfg.PageSize)
 	for i := 0; i < cfg.NumPages; i++ {
 		c.pool = append(c.pool, &frame{page: -1})
 	}
@@ -472,11 +520,18 @@ func (c *Cache) Read(now time.Time, offset, length int64) (time.Time, time.Durat
 	return c.ReadIO(c.defIO, now, offset, length)
 }
 
-// ReadIO simulates reading [offset, offset+length) on io's backend view
-// and stream state. Resident pages cost memory copies; missing pages are
-// fetched from the backend in contiguous runs, optionally extended by
-// the read-ahead window when the access pattern is sequential.
-func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
+// SetPageGranular routes the data path through the original per-page
+// lookup/install loop instead of the bulk run path. The two paths
+// perform identical transitions — this switch exists so equivalence
+// tests can prove it. Call before any traffic; not safe to race with
+// running operations.
+func (c *Cache) SetPageGranular(on bool) { c.pageGranular = on }
+
+// readIOPages is the retained page-granular read path: one lock
+// acquisition, map lookup, and LRU splice per page. ReadIO (bulk.go)
+// performs the same transitions run-at-a-time; the equivalence tests
+// replay workloads through both.
+func (c *Cache) readIOPages(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	if length < 0 {
 		length = 0
 	}
@@ -531,7 +586,7 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 			})
 			var brought int64
 			for p := pfStart; p <= pfEnd; p++ {
-				if fresh, _ := c.installPage(io, diskDone, p, false, true, false); fresh {
+				if fresh, _, _ := c.installPage(io, diskDone, p, false, true, false); fresh {
 					brought++
 				}
 			}
@@ -554,10 +609,11 @@ func (c *Cache) Write(now time.Time, offset, length int64) (time.Time, time.Dura
 	return c.WriteIO(c.defIO, now, offset, length)
 }
 
-// WriteIO simulates writing [offset, offset+length) on io's backend
-// view. With write-behind the pages are dirtied in memory at copy cost;
-// otherwise the data also goes straight to the backend.
-func (c *Cache) WriteIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
+// writeIOPages is the retained page-granular write path; WriteIO
+// (bulk.go) performs the same transitions run-at-a-time. The dirty
+// high-water stall is checked at the same shard-run boundaries as the
+// bulk path, so the two paths stay bit-identical with throttling on.
+func (c *Cache) writeIOPages(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	if length < 0 {
 		length = 0
 	}
@@ -567,10 +623,25 @@ func (c *Cache) WriteIO(io *IO, now time.Time, offset, length int64) (time.Time,
 		d := now.Add(c.cfg.HitOverhead)
 		return d, d.Sub(now)
 	}
-	for page := first; page <= last; page++ {
-		_, horizon := c.installPage(io, done, page, c.cfg.WriteBehind, false, true)
-		if horizon.After(done) {
-			done = horizon // eviction write-back stalled us
+	for page := first; page <= last; {
+		si := c.shardIndex(page)
+		runEnd := c.shardRunEnd(si, page, last)
+		runDirtied := false
+		for ; page <= runEnd; page++ {
+			_, dirtied, horizon := c.installPage(io, done, page, c.cfg.WriteBehind, false, true)
+			runDirtied = runDirtied || dirtied
+			if horizon.After(done) {
+				done = horizon // eviction write-back stalled us
+			}
+		}
+		if runDirtied && c.cfg.WritebackHighwater > 0 {
+			s := c.shards[si]
+			s.mu.Lock()
+			dc := s.dirty
+			s.mu.Unlock()
+			if dc >= c.cfg.WritebackHighwater {
+				done = c.stallHighwater(si, done)
+			}
 		}
 	}
 	done = done.Add(c.copyCost(length))
@@ -628,6 +699,9 @@ func (c *Cache) flushPage(io *IO, done time.Time, page int64) time.Time {
 		Write:  true,
 	})
 	f.dirty = false
+	// Cleaning abandons the page's arrival-queue entry: a later re-dirty
+	// enqueues at the tail, as arrival order demands.
+	f.inWBQueue = false
 	s.dirty--
 	s.stats.DirtyFlushes++
 	s.stats.BytesToDisk += c.cfg.PageSize
@@ -643,13 +717,35 @@ func (c *Cache) FlushRange(now time.Time, offset, length int64) (time.Time, time
 // FlushRangeIO writes back dirty pages intersecting [offset,
 // offset+length) on io's backend view. File stores use it to flush one
 // file's pages on close without disturbing the rest of the cache.
+// Narrow ranges walk the pages directly; wide ranges (a whole-file
+// close over a large sparse file) collect the dirty pages from the
+// stripes' resident sets instead, so the flush costs the size of the
+// dirty set, not of the range. Either way the pages written back, their
+// ascending order, and so the simulated timing are identical.
 func (c *Cache) FlushRangeIO(io *IO, now time.Time, offset, length int64) (time.Time, time.Duration) {
 	done := now
 	if length <= 0 {
 		return done, 0
 	}
 	first, last := c.pageRange(offset, length)
-	for page := first; page <= last; page++ {
+	if span := last - first + 1; span <= int64(c.cfg.NumPages) {
+		for page := first; page <= last; page++ {
+			done = c.flushPage(io, done, page)
+		}
+		return done, done.Sub(now)
+	}
+	var pages []int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, f := range s.resident {
+			if f.dirty && f.page >= first && f.page <= last {
+				pages = append(pages, f.page)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, page := range pages {
 		done = c.flushPage(io, done, page)
 	}
 	return done, done.Sub(now)
@@ -667,9 +763,11 @@ func (c *Cache) Invalidate() {
 			f.page = -1
 			f.dirty = false
 			f.prefetched = false
+			f.inWBQueue = false
 			freed = append(freed, f)
 		}
 		s.dirty = 0
+		s.dirtyOrder = s.dirtyOrder[:0]
 		s.size.Store(0)
 		c.used.Add(-int64(len(freed)))
 		s.mu.Unlock()

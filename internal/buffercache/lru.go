@@ -13,6 +13,17 @@ type frame struct {
 	page       int64 // absolute page number, -1 when free
 	dirty      bool
 	prefetched bool // brought in by read-ahead, not yet referenced
+	// inWBQueue records that the shard's dirty-arrival queue holds a
+	// live entry for this page, so re-dirtying a still-queued dirty page
+	// never enqueues it twice. Cleaning the page — drain, flush, or
+	// eviction — clears the flag so a later re-dirty enqueues at the
+	// tail: write-back order is the order of the *current* dirtying, as
+	// pdflush's. The abandoned queue entry is dropped when a drain or
+	// compaction reaches it; wbSeq (the dirtying generation stamped on
+	// frame and entry alike) keeps such a ghost from matching a page
+	// re-installed and re-dirtied after eviction.
+	inWBQueue  bool
+	wbSeq      uint64
 	prev, next *frame
 }
 

@@ -20,9 +20,81 @@ type shard struct {
 	lru      lruList
 	dirty    int   // dirty-set size; guarded by mu
 	stats    Stats // this stripe's counters; guarded by mu
+	// free is this stripe's slice of the frame pool, refilled in batches
+	// from the cache-global pool so installs on different stripes stop
+	// serializing on the pool mutex. Guarded by mu.
+	free []*frame
+	// dirtyOrder is the arrival (dirtying) order of this stripe's dirty
+	// pages — the raw queue background write-back feeds to the disk
+	// scheduler, so FCFS means "first dirtied, first written" rather than
+	// a sorted sweep. Entries go stale when a page is cleaned or evicted
+	// outside a drain; drains and compaction drop them, matching frame to
+	// entry by wbSeq generation. Guarded by mu.
+	dirtyOrder []wbEntry
+	// wbSeq numbers this stripe's dirtying events; each queue entry and
+	// its frame carry the generation, so an entry abandoned by clean or
+	// eviction never matches the page's next dirtying. Guarded by mu.
+	wbSeq uint64
 	// size mirrors len(resident) so the reclaim path can pick the fullest
 	// shard without taking every lock.
 	size atomic.Int32
+}
+
+// poolRefillBatch is how many frames one exhausted stripe pulls from the
+// global pool at a time: large enough to amortize the pool mutex out of
+// miss storms, small enough that the frames a stripe strands in its
+// local list stay a sliver of the budget (reclaimFrame harvests them
+// back under pressure).
+const poolRefillBatch = 32
+
+// wbEntry is one dirtying event in a stripe's arrival queue: the page
+// and the generation its frame was stamped with at enqueue time.
+type wbEntry struct {
+	page int64
+	seq  uint64
+}
+
+// noteDirtyLocked records page p (frame f) in the stripe's dirty-arrival
+// queue for background write-back. The caller holds s.mu and has just
+// transitioned f clean->dirty. Without write-back the queue is dead
+// weight, so it is not maintained.
+func (s *shard) noteDirtyLocked(c *Cache, p int64, f *frame) {
+	if c.wb == nil || f.inWBQueue {
+		return
+	}
+	f.inWBQueue = true
+	s.wbSeq++
+	f.wbSeq = s.wbSeq
+	s.dirtyOrder = append(s.dirtyOrder, wbEntry{page: p, seq: s.wbSeq})
+	// Drains only trim the queue up to its first live entry, so entries
+	// gone stale behind a page that sits dirty below the drain threshold
+	// would otherwise accumulate for as long as traffic dirties and
+	// evicts pages. Live entries == s.dirty, so once the queue outgrows
+	// the dirty set by 4x (+slack for tiny sets), compact; the growth
+	// needed between compactions keeps the scan amortized O(1) per note.
+	if len(s.dirtyOrder) > 4*s.dirty+16 {
+		s.compactWBQueueLocked()
+	}
+}
+
+// compactWBQueueLocked drops the stale entries of the dirty-arrival
+// queue in place, preserving the order of live ones — exactly the
+// transitions a drain performs when it reaches them, with no timing
+// charge. The caller holds s.mu.
+func (s *shard) compactWBQueueLocked() {
+	kept := s.dirtyOrder[:0]
+	for _, e := range s.dirtyOrder {
+		f, ok := s.resident[e.page]
+		if !ok || !f.inWBQueue || f.wbSeq != e.seq {
+			continue
+		}
+		if !f.dirty {
+			f.inWBQueue = false
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.dirtyOrder = kept
 }
 
 // evictLocked evicts victim (which must be linked in s) writing it back
@@ -49,19 +121,36 @@ func (s *shard) evictLocked(c *Cache, io *IO, now time.Time, victim *frame) time
 	victim.page = -1
 	victim.dirty = false
 	victim.prefetched = false
+	victim.inWBQueue = false
 	return done
 }
 
-// popFree takes a frame from the global pool, or nil when the memory
-// budget is exhausted (every frame is resident somewhere).
-func (c *Cache) popFree() *frame {
+// popFreeLocked takes a frame for shard s: from its local free list, or
+// by pulling a batch from the global pool when the list is dry. Returns
+// nil when both are empty (the budget is exhausted, or the remaining
+// free frames are stranded on sibling stripes — reclaimFrame handles
+// that). The caller holds s.mu.
+func (c *Cache) popFreeLocked(s *shard) *frame {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		return f
+	}
 	c.poolMu.Lock()
-	defer c.poolMu.Unlock()
-	if len(c.pool) == 0 {
+	n := len(c.pool)
+	if n == 0 {
+		c.poolMu.Unlock()
 		return nil
 	}
-	f := c.pool[len(c.pool)-1]
-	c.pool = c.pool[:len(c.pool)-1]
+	take := poolRefillBatch
+	if take > n {
+		take = n
+	}
+	moved := c.pool[n-take:]
+	s.free = append(s.free, moved[:take-1]...)
+	f := moved[take-1]
+	c.pool = c.pool[:n-take]
+	c.poolMu.Unlock()
 	return f
 }
 
@@ -70,6 +159,54 @@ func (c *Cache) pushFree(f *frame) {
 	c.poolMu.Lock()
 	c.pool = append(c.pool, f)
 	c.poolMu.Unlock()
+}
+
+// harvestFreeLocked pulls a free frame stranded on a sibling stripe's
+// local list, preserving the global-pool invariant that a stripe only
+// evicts once every frame in the budget is resident. Called with s.mu
+// held; sibling locks are TryLock'd so two stripes harvesting each
+// other cannot deadlock — a contended sibling is skipped (its frames
+// are in active use, and the caller falls back to eviction). In a
+// single-threaded run the TryLock always succeeds, so eviction
+// decisions are exactly those of the pre-striping global pool.
+func (c *Cache) harvestFreeLocked(s *shard) *frame {
+	for _, t := range c.shards {
+		if t == s || !t.mu.TryLock() {
+			continue
+		}
+		if n := len(t.free); n > 0 {
+			f := t.free[n-1]
+			t.free = t.free[:n-1]
+			t.mu.Unlock()
+			return f
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// reclaimFrame frees a frame when the caller's stripe and the global
+// pool are both exhausted: first harvest a frame stranded on a sibling
+// stripe's local free list (so a frame is always found while any frame
+// in the budget is free, exactly like the pre-striping global pool),
+// then fall back to evicting from the most loaded stripe. Called with no
+// shard lock held; the freed frame lands in the global pool for the
+// caller to re-pop.
+func (c *Cache) reclaimFrame(io *IO, now time.Time) (time.Time, bool) {
+	if c.used.Load() < int64(c.cfg.NumPages) { // else every list is provably empty
+		for _, t := range c.shards {
+			t.mu.Lock()
+			if n := len(t.free); n > 0 {
+				f := t.free[n-1]
+				t.free = t.free[:n-1]
+				t.mu.Unlock()
+				c.pushFree(f)
+				return now, true
+			}
+			t.mu.Unlock()
+		}
+	}
+	return c.reclaimRemote(io, now)
 }
 
 // reclaimRemote evicts the LRU page of the most loaded shard and returns
@@ -103,7 +240,8 @@ func (c *Cache) reclaimRemote(io *IO, now time.Time) (time.Time, bool) {
 }
 
 // touchHit reports whether page is resident; if so it records the hit and
-// freshens the page's LRU position.
+// freshens the page's LRU position. Part of the retained page-granular
+// reference path (see SetPageGranular); the bulk path uses lookupRun.
 func (c *Cache) touchHit(page int64) bool {
 	s := c.shardOf(page)
 	s.mu.Lock()
@@ -123,7 +261,7 @@ func (c *Cache) touchHit(page int64) bool {
 }
 
 // isResident reports residency without touching LRU state or statistics;
-// the read path uses it to extend miss runs across stripes.
+// the page-granular read path uses it to extend miss runs across stripes.
 func (c *Cache) isResident(page int64) bool {
 	s := c.shardOf(page)
 	s.mu.Lock()
@@ -133,16 +271,18 @@ func (c *Cache) isResident(page int64) bool {
 }
 
 // installPage makes page resident in its shard, evicting under memory
-// pressure: first the global free pool, then this shard's own LRU, and as
-// a last resort a reclaim from the fullest sibling. Evictions performed
-// on behalf of this install charge io's backend view. It reports whether
-// the page was newly installed (false when it was already resident) and
-// the completion horizon of any dirty write-back performed (== now when
+// pressure: first the stripe's free frames, then this shard's own LRU,
+// and as a last resort a harvest or reclaim from a sibling. Evictions
+// performed on behalf of this install charge io's backend view. It
+// reports whether the page was newly installed (false when it was
+// already resident), whether it transitioned clean->dirty, and the
+// completion horizon of any dirty write-back performed (== now when
 // nothing had to be written back). When count is set the lookup is
 // charged to the shard's hit/miss counters, as the write path requires.
 // Dirtying a page past the write-back threshold signals the shard's
-// background flusher.
-func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched, count bool) (fresh bool, horizon time.Time) {
+// background flusher. Part of the retained page-granular reference
+// path; the bulk path uses installRun.
+func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched, count bool) (fresh, dirtied bool, horizon time.Time) {
 	si := c.shardIndex(page)
 	s := c.shards[si]
 	horizon = now
@@ -152,10 +292,10 @@ func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched
 			if count {
 				s.stats.Hits++
 			}
-			dirtied := false
 			if dirty && !f.dirty {
 				f.dirty = true
 				s.dirty++
+				s.noteDirtyLocked(c, page, f)
 				dirtied = true
 			}
 			dirtyCount := s.dirty
@@ -164,9 +304,16 @@ func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched
 			if dirtied {
 				c.maybeSignalWriteback(si, dirtyCount, now)
 			}
-			return false, horizon
+			return false, dirtied, horizon
 		}
-		f := c.popFree()
+		// used == NumPages: every frame is resident, so skip the pool lock
+		// and sibling sweep (they are provably empty) and evict directly.
+		var f *frame
+		if c.used.Load() < int64(c.cfg.NumPages) {
+			if f = c.popFreeLocked(s); f == nil {
+				f = c.harvestFreeLocked(s)
+			}
+		}
 		if f == nil {
 			if victim := s.lru.back(); victim != nil {
 				done := s.evictLocked(c, io, now, victim)
@@ -189,18 +336,20 @@ func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched
 			c.used.Add(1)
 			if dirty {
 				s.dirty++
+				s.noteDirtyLocked(c, page, f)
+				dirtied = true
 			}
 			dirtyCount := s.dirty
 			s.mu.Unlock()
 			if dirty {
 				c.maybeSignalWriteback(si, dirtyCount, now)
 			}
-			return true, horizon
+			return true, dirtied, horizon
 		}
 		// Budget exhausted and this stripe holds nothing to evict: pull a
-		// frame back from the fullest sibling, then retry the install.
+		// frame back from a sibling, then retry the install.
 		s.mu.Unlock()
-		done, ok := c.reclaimRemote(io, now)
+		done, ok := c.reclaimFrame(io, now)
 		if done.After(horizon) {
 			horizon = done
 		}

@@ -7,15 +7,21 @@
 // pages clean (the writes are now owned by the disk queue), and submits
 // them as one scheduled batch — simdisk.ServeBatch with the configured
 // SSTF/SCAN/FCFS policy when the backend supports it, sequential
-// accesses otherwise. The simulated time of each drain is charged to the
-// stripe's own virtual-clock lane, never to the writer that tripped the
-// threshold: write-back overlaps foreground work, which is exactly what
-// distinguishes it from the flush-on-close paths (Flush, FlushRange)
-// that bill the caller.
+// accesses otherwise. Batches are fed to the scheduler in raw arrival
+// (dirtying) order, the stripe's dirtyOrder queue: the policy does the
+// ordering, so FCFS genuinely services first-dirtied-first while
+// SSTF/SCAN reorder by seek distance — the ablation separates instead of
+// every policy receiving a pre-sorted sweep. The simulated time of each
+// drain is charged to the stripe's own virtual-clock lane, never to the
+// writer that tripped the threshold: write-back overlaps foreground
+// work, which is exactly what distinguishes it from the flush-on-close
+// paths (Flush, FlushRange) that bill the caller. The one exception is
+// the optional dirty-page high-water mark (Config.WritebackHighwater):
+// a writer that saturates a stripe's dirty set is stalled until the
+// stripe drains, modelling pdflush throttling.
 package buffercache
 
 import (
-	"sort"
 	"sync"
 	"time"
 
@@ -120,33 +126,55 @@ func (c *Cache) SignalWriteback(now time.Time) {
 	}
 }
 
-// drainShard collects stripe si's dirty pages, marks them clean, and
-// submits them to the disk queue as policy-ordered batches on the
-// stripe's write-back lane, starting no earlier than at. It returns the
-// number of pages retired.
-func (wb *writeback) drainShard(si int, at time.Time) int {
+// drainShard collects stripe si's dirty pages in arrival (dirtying)
+// order, marks them clean, and submits them to the disk queue as
+// policy-ordered batches on the stripe's write-back lane, starting no
+// earlier than at. It returns the number of pages retired and the
+// lane's completion horizon.
+func (wb *writeback) drainShard(si int, at time.Time) (int, time.Time) {
 	wb.mus[si].Lock()
 	defer wb.mus[si].Unlock()
 	c := wb.c
 	s := c.shards[si]
+	lane := wb.lanes[si]
 	total := 0
 	for {
 		s.mu.Lock()
-		pages := make([]int64, 0, s.dirty)
-		for _, f := range s.resident {
-			if f.dirty {
-				pages = append(pages, f.page)
+		want := s.dirty
+		if c.cfg.WritebackBatch > 0 && want > c.cfg.WritebackBatch {
+			want = c.cfg.WritebackBatch
+		}
+		pages := make([]int64, 0, want)
+		// Consume the arrival queue front to back, dropping stale entries
+		// (pages cleaned or evicted since they were queued). Stale entries
+		// are consumed even once the batch is full — and in particular when
+		// want is 0 — so a drain always trims the queue up to its first
+		// live entry; a stripe whose dirty pages all got cleaned by
+		// eviction or flush cannot pin an ever-growing queue.
+		consumed := 0
+		for consumed < len(s.dirtyOrder) {
+			e := s.dirtyOrder[consumed]
+			f, ok := s.resident[e.page]
+			if !ok || !f.inWBQueue || f.wbSeq != e.seq {
+				consumed++
+				continue
 			}
-		}
-		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-		if c.cfg.WritebackBatch > 0 && len(pages) > c.cfg.WritebackBatch {
-			pages = pages[:c.cfg.WritebackBatch]
-		}
-		for _, page := range pages {
-			f := s.resident[page]
+			if !f.dirty {
+				f.inWBQueue = false
+				consumed++
+				continue
+			}
+			if len(pages) >= want {
+				break
+			}
+			f.inWBQueue = false
 			f.dirty = false
 			s.dirty--
+			pages = append(pages, e.page)
+			consumed++
 		}
+		kept := copy(s.dirtyOrder, s.dirtyOrder[consumed:])
+		s.dirtyOrder = s.dirtyOrder[:kept]
 		if n := len(pages); n > 0 {
 			s.stats.DirtyFlushes += int64(n)
 			s.stats.WritebackPages += int64(n)
@@ -155,7 +183,7 @@ func (wb *writeback) drainShard(si int, at time.Time) int {
 		}
 		s.mu.Unlock()
 		if len(pages) == 0 {
-			return total
+			return total, lane.Now()
 		}
 		total += len(pages)
 
@@ -167,7 +195,6 @@ func (wb *writeback) drainShard(si int, at time.Time) int {
 				Write:  true,
 			}
 		}
-		lane := wb.lanes[si]
 		start := clock.MaxTime(lane.Now(), at)
 		var end time.Time
 		if bb, ok := c.wbBackend.(BatchBackend); ok {
@@ -183,6 +210,24 @@ func (wb *writeback) drainShard(si int, at time.Time) int {
 	}
 }
 
+// stallHighwater models pdflush throttling: the foreground writer that
+// pushed stripe si's dirty set to the high-water mark synchronously
+// waits for the stripe to drain through the background write-back
+// queue, and its clock advances to the drain's completion horizon. The
+// drain itself still runs on the stripe's write-back lane (a racing
+// flusher simply gets there first and the writer inherits its horizon).
+func (c *Cache) stallHighwater(si int, now time.Time) time.Time {
+	_, end := c.wb.drainShard(si, now)
+	s := c.shards[si]
+	s.mu.Lock()
+	s.stats.WritebackThrottles++
+	s.mu.Unlock()
+	if end.After(now) {
+		return end
+	}
+	return now
+}
+
 // Quiesce drains every stripe's dirty set through the write-back lanes,
 // looping until the cache holds no dirty page, and returns the furthest
 // write-back horizon. Callers use it at the end of a run (fsim's Settle)
@@ -195,7 +240,8 @@ func (c *Cache) Quiesce(now time.Time) time.Time {
 	for {
 		drained := 0
 		for si := range c.shards {
-			drained += c.wb.drainShard(si, now)
+			n, _ := c.wb.drainShard(si, now)
+			drained += n
 		}
 		if drained == 0 && c.DirtyPages() == 0 {
 			break

@@ -32,6 +32,11 @@ type Options struct {
 	// WritebackBatch caps how many pages one background drain submits to
 	// the disk queue; zero means the whole dirty set.
 	WritebackBatch int
+	// WritebackHighwater is the per-stripe dirty-page high-water mark:
+	// a write that saturates a stripe's dirty set stalls the foreground
+	// writer until the stripe drains (pdflush throttling). Zero (the
+	// default) never stalls writers; requires Writeback > 0.
+	WritebackHighwater int
 	// SchedPolicy orders write-back batches at the disk queue: FCFS,
 	// SSTF, or SCAN. Ignored while Writeback is zero.
 	SchedPolicy simdisk.SchedPolicy
@@ -64,11 +69,12 @@ func SetOptions(opts Options) {
 		current.CacheShards = 0
 		buffercache.SetDefaultShards(0)
 	}
-	if err := buffercache.SetDefaultWriteback(current.Writeback, current.WritebackBatch, current.SchedPolicy); err != nil {
+	if err := buffercache.SetDefaultWriteback(current.Writeback, current.WritebackBatch, current.WritebackHighwater, current.SchedPolicy); err != nil {
 		current.Writeback = 0
 		current.WritebackBatch = 0
+		current.WritebackHighwater = 0
 		current.SchedPolicy = simdisk.FCFS
-		buffercache.SetDefaultWriteback(0, 0, simdisk.FCFS)
+		buffercache.SetDefaultWriteback(0, 0, 0, simdisk.FCFS)
 	}
 }
 
@@ -90,17 +96,18 @@ func (o Options) fillDefaults() Options {
 // configJSON is the on-disk form read by LoadOptions — flat, in
 // human-friendly units, with every field optional.
 type configJSON struct {
-	CPUs            *int     `json:"cpus"`
-	Disks           *int     `json:"disks"`
-	CPUParFrac      *float64 `json:"cpu_parallel_fraction"`
-	IOQueueDepth    *int     `json:"io_queue_depth"`
-	BaseSeconds     *float64 `json:"base_seconds"`
-	TraceFileSizeMB *int64   `json:"trace_file_size_mb"`
-	TraceRequests   *int     `json:"trace_requests"`
-	CacheShards     *int     `json:"cache_shards"`
-	Writeback       *int     `json:"writeback"`
-	WritebackBatch  *int     `json:"writeback_batch"`
-	SchedPolicy     *string  `json:"sched_policy"`
+	CPUs               *int     `json:"cpus"`
+	Disks              *int     `json:"disks"`
+	CPUParFrac         *float64 `json:"cpu_parallel_fraction"`
+	IOQueueDepth       *int     `json:"io_queue_depth"`
+	BaseSeconds        *float64 `json:"base_seconds"`
+	TraceFileSizeMB    *int64   `json:"trace_file_size_mb"`
+	TraceRequests      *int     `json:"trace_requests"`
+	CacheShards        *int     `json:"cache_shards"`
+	Writeback          *int     `json:"writeback"`
+	WritebackBatch     *int     `json:"writeback_batch"`
+	WritebackHighwater *int     `json:"writeback_highwater"`
+	SchedPolicy        *string  `json:"sched_policy"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -157,6 +164,15 @@ func LoadOptions(r io.Reader) (Options, error) {
 			return Options{}, fmt.Errorf("core: writeback_batch %d must be non-negative", *cfg.WritebackBatch)
 		}
 		opts.WritebackBatch = *cfg.WritebackBatch
+	}
+	if cfg.WritebackHighwater != nil {
+		if *cfg.WritebackHighwater < 0 {
+			return Options{}, fmt.Errorf("core: writeback_highwater %d must be non-negative", *cfg.WritebackHighwater)
+		}
+		if *cfg.WritebackHighwater > 0 && opts.Writeback == 0 {
+			return Options{}, fmt.Errorf("core: writeback_highwater requires writeback > 0")
+		}
+		opts.WritebackHighwater = *cfg.WritebackHighwater
 	}
 	if cfg.SchedPolicy != nil {
 		policy, err := simdisk.ParsePolicy(*cfg.SchedPolicy)

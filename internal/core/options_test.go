@@ -128,6 +128,33 @@ func TestLoadOptionsWriteback(t *testing.T) {
 	}
 }
 
+func TestLoadOptionsWritebackHighwater(t *testing.T) {
+	opts, err := LoadOptions(strings.NewReader(`{"writeback": 8, "writeback_highwater": 64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.WritebackHighwater != 64 {
+		t.Fatalf("writeback_highwater = %d, want 64", opts.WritebackHighwater)
+	}
+	if _, err := LoadOptions(strings.NewReader(`{"writeback_highwater": 64}`)); err == nil {
+		t.Fatal("high-water mark without writeback accepted")
+	}
+	if _, err := LoadOptions(strings.NewReader(`{"writeback": 8, "writeback_highwater": -1}`)); err == nil {
+		t.Fatal("negative high-water mark accepted")
+	}
+
+	defer SetOptions(DefaultOptions())
+	SetOptions(opts)
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := store.Cache().Config().WritebackHighwater; got != 64 {
+		t.Fatalf("store built under highwater=64 got %d", got)
+	}
+}
+
 func TestSetOptionsWritebackReachesStores(t *testing.T) {
 	defer SetOptions(DefaultOptions())
 	opts := DefaultOptions()

@@ -231,9 +231,9 @@ func (f *simFile) Read(p []byte) (int, time.Duration, error) {
 	}
 	m.mu.RUnlock()
 	if sparse {
-		for i := int64(0); i < n; i++ {
-			p[i] = 0
-		}
+		// clear compiles to a memclr; the replay benchmarks read the 1 GB
+		// sample file sparse, so this zero-fill IS the wall-clock data path.
+		clear(p[:n])
 	}
 	now := f.sess.clk.Now()
 	done, _ := f.store.cache.ReadIO(f.sess.io, now, m.base+f.pos, n)

@@ -82,6 +82,11 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 	}
 
 	merged := &Report{App: appName}
+	total := 0
+	for _, r := range reports {
+		total += len(r.Requests)
+	}
+	merged.Requests = make([]RequestTiming, 0, total)
 	var longest time.Duration
 	for _, r := range reports {
 		merged.Open.Merge(&r.Open)
@@ -121,7 +126,7 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 // operation precedes its own open record inherits an implicit open, as
 // the shared-handle traces of the paper do.
 func (rp *Replayer) replayRecords(st fsim.Store, appName, sample string, recs []*trace.Record) (*Report, error) {
-	rep := &Report{App: appName}
+	rep := &Report{App: appName, Requests: make([]RequestTiming, 0, dataOps(recs))}
 	var f fsim.File
 	var buf []byte
 	defer func() {

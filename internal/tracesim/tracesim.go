@@ -99,6 +99,28 @@ func NewReplayer(store fsim.Store) *Replayer {
 // errNotOpen is returned when a trace issues data operations before open.
 var errNotOpen = errors.New("tracesim: operation before open")
 
+// dataOpRows returns how many per-request rows rec will produce
+// (repeat counts expanded): one per expansion for the data operations
+// (seek/read/write), none for open/close.
+func dataOpRows(rec *trace.Record) int {
+	switch rec.Op {
+	case trace.OpSeek, trace.OpRead, trace.OpWrite:
+		return int(rec.Count)
+	}
+	return 0
+}
+
+// dataOps counts the per-request rows a record sequence will produce,
+// so replays can size Report.Requests once instead of growing it on
+// the hot path.
+func dataOps(recs []*trace.Record) int {
+	n := 0
+	for _, rec := range recs {
+		n += dataOpRows(rec)
+	}
+	return n
+}
+
 // Prepare provisions the trace's sample file if missing: sparse on stores
 // that support it, zero-filled otherwise.
 func (rp *Replayer) Prepare(tr *trace.Trace) error {
@@ -124,6 +146,11 @@ func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
 		return nil, fmt.Errorf("tracesim: preparing sample file: %w", err)
 	}
 	rep := &Report{App: appName}
+	n := 0
+	for i := range tr.Records {
+		n += dataOpRows(&tr.Records[i])
+	}
+	rep.Requests = make([]RequestTiming, 0, n)
 	var f fsim.File
 	var buf []byte
 	defer func() {
