@@ -1,12 +1,17 @@
 // Benchjson emits the bench trajectory as machine-readable JSON (`make
-// bench-json` writes BENCH_4.json, CI uploads it and fails on hot-path
+// bench-json` writes BENCH_5.json, CI uploads it and fails on hot-path
 // regressions). Three sections:
 //
 //   - hot_path: in-process microbenchmarks of the replay engine's wall
 //     hot paths — warm 64 KB reads (dense and sparse), the single-page
-//     cache hit, and warm write-behind — reporting ns/op and allocs/op.
-//     The warm paths are pinned at 0 allocs/op by tests; the ns/op
-//     trajectory is guarded by -baseline (see below).
+//     cache hit, warm write-behind, and the cold miss/evict cycle
+//     (cache_miss_evict: a stride of single-page reads through a cache
+//     an order of magnitude smaller, so every read is a miss and every
+//     install an eviction) — reporting ns/op and allocs/op, plus each
+//     row's value from the -baseline report so the file carries its own
+//     before/after comparison. The warm and steady-state evict paths
+//     are pinned at 0 allocs/op by tests; the ns/op trajectory is
+//     guarded by -baseline (see below).
 //   - worker_scaling: the n-worker partitioned replay on an 8-stripe
 //     write-back store, one virtual-clock lane per worker. Simulated
 //     throughput (operations per simulated second) scales with workers
@@ -18,13 +23,15 @@
 //     policies genuinely differ (FCFS is not a pre-sorted sweep).
 //
 // With -baseline pointing at a previous report (normally the committed
-// BENCH_4.json), the run fails if the engine-only warm-read row
-// regressed more than 25%: the CI regression guard. The guard runs
-// before -out is written, so a failed run leaves the baseline file
-// intact (the regressed report lands in <out>.failed.json instead);
-// it tracks cache_warm_read_64k rather than the end-to-end rows, whose
-// raw memclr/memcpy share would both mask engine regressions and trip
-// on host bandwidth differences.
+// BENCH_5.json), the run fails if an engine-only guarded row —
+// cache_warm_read_64k (the warm path) or cache_miss_evict (the cold
+// path) — regressed more than 25%. The guard runs before -out is
+// written, so a failed run leaves the baseline file intact (the
+// regressed report lands in <out>.failed.json instead); it tracks the
+// engine-only rows rather than the end-to-end ones, whose raw
+// memclr/memcpy share would both mask engine regressions and trip on
+// host bandwidth differences. A baseline missing a guarded row (an
+// older report format) skips that row with a note.
 //
 // The worker_scaling simulated quantities are deterministic run to run
 // (each lane is a pure function of its worker's record sequence).
@@ -42,6 +49,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/buffercache"
 	"repro/internal/fsim"
 	"repro/internal/simdisk"
 	"repro/internal/tracegen"
@@ -52,6 +60,10 @@ type hotPathRow struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BaselineNsPerOp is the same row's value from the -baseline report
+	// (the committed previous trajectory), when it had one: the "before"
+	// of a before/after pair.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 }
 
 type scalingRow struct {
@@ -91,13 +103,15 @@ type report struct {
 // operation: the warm 64 KB read against the sparse sample file.
 const warmReadBenchName = "warm_read_64k_sparse"
 
-// guardBenchName is the hot-path row the -baseline guard tracks: the
-// engine-only warm 64 KB cache read. The end-to-end rows are ~80% raw
-// memclr/memcpy, so a 2x regression in the engine would move them under
-// the guard's threshold while host memory bandwidth differences trip
-// it; the engine-only row measures exactly the machinery this guard
-// protects.
-const guardBenchName = "cache_warm_read_64k"
+// guardBenchNames are the hot-path rows the -baseline guard tracks: the
+// engine-only warm 64 KB cache read (the bulk hit path) and the
+// engine-only miss/evict cycle (the cold path: page-table install and
+// evict plus run-granular disk billing). The end-to-end rows are ~80%
+// raw memclr/memcpy, so a 2x regression in the engine would move them
+// under the guard's threshold while host memory bandwidth differences
+// trip it; the engine-only rows measure exactly the machinery this
+// guard protects.
+var guardBenchNames = []string{"cache_warm_read_64k", "cache_miss_evict"}
 
 func hotPathBenches() []hotPathRow {
 	warmStore := func(sparse bool) (fsim.File, []byte) {
@@ -175,6 +189,24 @@ func hotPathBenches() []hotPathRow {
 			cache.Read(now, 0, 4096)
 		}
 	})))
+
+	// Engine-only cold path: a stride of single-page reads through a
+	// 64-page cache with read-ahead off, so every read misses and every
+	// install evicts — the same loop as buffercache's
+	// BenchmarkCacheMissEvict, measuring the page-table install/evict
+	// cycle plus the run-granular disk billing.
+	mcfg := buffercache.DefaultConfig()
+	mcfg.NumPages = 64
+	mcfg.PrefetchPages = 0
+	mcache := buffercache.MustNew(mcfg, simdisk.MustNew(simdisk.DefaultParams()))
+	var moff int64
+	rows = append(rows, row("cache_miss_evict", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mcache.Read(now, moff, 4096)
+			moff = (moff + 4096) % (1 << 30)
+		}
+	})))
 	return rows
 }
 
@@ -207,42 +239,41 @@ func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, fileSize
 	return rep, store, wall, nil
 }
 
-// loadBaselineWarmRead reads the guard metric from a previous report.
-// A missing file or section just disables the guard (first run, fresh
-// clone) with a note on stderr.
-func loadBaselineWarmRead(path string) (float64, bool) {
+// loadBaselineHotPath reads every hot-path row of a previous report,
+// keyed by name. A missing or unreadable file just disables the guard
+// (first run, fresh clone) with a note on stderr.
+func loadBaselineHotPath(path string) map[string]float64 {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v); regression guard skipped\n", err)
-		return 0, false
+		return nil
 	}
 	var old report
 	if err := json.Unmarshal(buf, &old); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: unreadable baseline %s (%v); regression guard skipped\n", path, err)
-		return 0, false
+		return nil
 	}
+	rows := make(map[string]float64, len(old.HotPath))
 	for _, r := range old.HotPath {
-		if r.Name == guardBenchName && r.NsPerOp > 0 {
-			return r.NsPerOp, true
+		if r.NsPerOp > 0 {
+			rows[r.Name] = r.NsPerOp
 		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: baseline %s has no %s row; regression guard skipped\n", path, guardBenchName)
-	return 0, false
+	return rows
 }
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_4.json", "output path (\"-\" for stdout)")
-		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if the engine warm-read row regresses >25%")
+		out      = flag.String("out", "BENCH_5.json", "output path (\"-\" for stdout)")
+		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if an engine-only guarded row regresses >25%")
 		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
 		requests = flag.Int("requests", 256, "total reads across workers")
 	)
 	flag.Parse()
 
-	var baseNs float64
-	var haveBase bool
+	var baseRows map[string]float64
 	if *baseline != "" {
-		baseNs, haveBase = loadBaselineWarmRead(*baseline)
+		baseRows = loadBaselineHotPath(*baseline)
 	}
 
 	const shards = 8
@@ -256,6 +287,9 @@ func main() {
 	}
 
 	rep.HotPath = hotPathBenches()
+	for i := range rep.HotPath {
+		rep.HotPath[i].BaselineNsPerOp = baseRows[rep.HotPath[i].Name]
+	}
 
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -326,17 +360,39 @@ func main() {
 	// baseline intact — otherwise a rerun would compare the regression
 	// against itself and pass. The regressed report goes to a sidecar
 	// file for diagnosis (CI uploads it).
-	if haveBase {
-		var fresh float64
-		for _, r := range rep.HotPath {
-			if r.Name == guardBenchName {
-				fresh = r.NsPerOp
+	if len(baseRows) > 0 {
+		regressed := false
+		for _, name := range guardBenchNames {
+			baseNs, ok := baseRows[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: baseline has no %s row; that guard skipped\n", name)
+				continue
 			}
+			var fresh float64
+			for _, r := range rep.HotPath {
+				if r.Name == name {
+					fresh = r.NsPerOp
+				}
+			}
+			if fresh <= 0 {
+				// A guarded row the baseline has but this run did not
+				// produce means the guard's subject was dropped or
+				// renamed — fail loudly rather than comparing 0 ns/op.
+				fmt.Fprintf(os.Stderr, "benchjson: guarded row %s missing from this run's hot_path\n", name)
+				regressed = true
+				continue
+			}
+			limit := baseNs * 1.25
+			if fresh > limit {
+				fmt.Fprintf(os.Stderr, "benchjson: %s regressed: %.0f ns/op vs baseline %.0f ns/op (limit %.0f, +25%%)\n",
+					name, fresh, baseNs, limit)
+				regressed = true
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "hot-path guard: %s %.0f ns/op within 25%% of baseline %.0f ns/op\n",
+				name, fresh, baseNs)
 		}
-		limit := baseNs * 1.25
-		if fresh > limit {
-			fmt.Fprintf(os.Stderr, "benchjson: %s regressed: %.0f ns/op vs baseline %.0f ns/op (limit %.0f, +25%%)\n",
-				guardBenchName, fresh, baseNs, limit)
+		if regressed {
 			if *out != "-" {
 				failed := *out + ".failed.json"
 				if werr := os.WriteFile(failed, buf, 0o644); werr != nil {
@@ -347,8 +403,6 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "hot-path guard: %s %.0f ns/op within 25%% of baseline %.0f ns/op\n",
-			guardBenchName, fresh, baseNs)
 	}
 
 	if *out != "-" {

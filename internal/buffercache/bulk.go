@@ -50,11 +50,41 @@ func (c *Cache) shardRunEnd(si int, page, last int64) int64 {
 // caller then extends it into the next shard run).
 func (s *shard) lookupRun(from, to int64) (nHits, missEnd int64, open bool) {
 	s.mu.Lock()
+	p := s.consumeHitsLocked(from, to)
+	nHits = p - from
+	if p > to {
+		s.mu.Unlock()
+		return nHits, p - 1, false
+	}
+	p = s.scanMissLocked(p, to)
+	s.mu.Unlock()
+	return nHits, p - 1, p > to
+}
+
+// scanMissLocked advances from the first page of [from..to] over the
+// consecutive non-resident pages and returns the first resident one
+// (to+1 when the whole span misses): the one residency-probe loop every
+// miss-extent scan shares. The caller holds s.mu.
+func (s *shard) scanMissLocked(from, to int64) int64 {
+	p := from
+	for p <= to {
+		if s.table.get(p) != nil {
+			break
+		}
+		p++
+	}
+	return p
+}
+
+// consumeHitsLocked touches the leading resident pages of [from..to] as
+// hits and returns the first non-resident page (to+1 when the whole
+// span is warm). The caller holds s.mu.
+func (s *shard) consumeHitsLocked(from, to int64) int64 {
 	p := from
 	var pfHits int64
 	for p <= to {
-		f, ok := s.resident[p]
-		if !ok {
+		f := s.table.get(p)
+		if f == nil {
 			break
 		}
 		if f.prefetched {
@@ -64,23 +94,11 @@ func (s *shard) lookupRun(from, to int64) (nHits, missEnd int64, open bool) {
 		s.lru.moveToFront(f)
 		p++
 	}
-	nHits = p - from
-	if nHits > 0 {
-		s.stats.Hits += nHits
+	if n := p - from; n > 0 {
+		s.stats.Hits += n
 		s.stats.PrefetchHits += pfHits
 	}
-	if p > to {
-		s.mu.Unlock()
-		return nHits, p - 1, false
-	}
-	for p <= to {
-		if _, ok := s.resident[p]; ok {
-			break
-		}
-		p++
-	}
-	s.mu.Unlock()
-	return nHits, p - 1, p > to
+	return p
 }
 
 // scanMissRun extends a miss run into [from..to] (all in shard s): it
@@ -90,73 +108,101 @@ func (s *shard) lookupRun(from, to int64) (nHits, missEnd int64, open bool) {
 // probe.
 func (s *shard) scanMissRun(from, to int64) (missEnd int64, open bool) {
 	s.mu.Lock()
-	p := from
-	for p <= to {
-		if _, ok := s.resident[p]; ok {
-			break
-		}
-		p++
-	}
+	p := s.scanMissLocked(from, to)
 	s.mu.Unlock()
 	return p - 1, p > to
 }
 
-// installRun makes [from..to] (all in shard s, ascending) resident
-// under one lock acquisition, with the same per-page transitions as
-// installPage: already-resident pages are touched (and dirtied when
-// asked), missing pages take a frame from the stripe's free list, then
-// evict the stripe's own LRU, and as a last resort drop the lock to
-// harvest or reclaim from a sibling. When advance is set each eviction
-// is charged at the running write-back horizon (the write path's
-// accounting); otherwise every eviction is charged at now (the read
-// path's). It returns the count of freshly installed pages, the
-// stripe's dirty count after the run, whether any page transitioned
-// clean->dirty, and the final horizon.
+// installRun makes [from..to] (all in shard s, ascending) resident with
+// the same per-page transitions as installPage; see installRunLocked.
+// It returns the count of freshly installed pages, the stripe's dirty
+// count after the run, whether any page transitioned clean->dirty, and
+// the final eviction/write-back horizon.
 func (s *shard) installRun(c *Cache, io *IO, now time.Time, from, to int64, dirty, prefetched, count, advance bool) (fresh int64, dirtyCount int, dirtied bool, horizon time.Time) {
-	horizon = now
 	s.mu.Lock()
-	for p := from; p <= to; p++ {
-		for {
-			if f, ok := s.resident[p]; ok {
-				if count {
-					s.stats.Hits++
-				}
-				if dirty && !f.dirty {
-					f.dirty = true
-					s.dirty++
-					s.noteDirtyLocked(c, p, f)
-					dirtied = true
-				}
-				s.lru.moveToFront(f)
-				break
+	fresh, dirtied, horizon = s.installRunLocked(c, io, now, from, to, dirty, prefetched, count, advance)
+	dirtyCount = s.dirty
+	s.mu.Unlock()
+	return fresh, dirtyCount, dirtied, horizon
+}
+
+// installRunLocked makes [from..to] (all in shard s, ascending)
+// resident: already-resident pages are touched (and dirtied when
+// asked); each streak of missing pages is installed chunk-at-a-time —
+// frames are gathered in one pass (the stripe's free list first, with
+// the same per-frame pool-refill decisions the page-granular loop
+// makes, then the stripe's own LRU victims, retired together), the
+// retired victims' write-backs are billed as contiguous disk runs
+// (billVictimsLocked), and the pages are installed. Only when the
+// budget is exhausted and the stripe holds nothing to evict does it
+// drop the lock to reclaim from a sibling, exactly as installPage does.
+// When advance is set evictions are charged at the running write-back
+// horizon (the write path's accounting); otherwise at now (the read
+// path's). The victim choices, their billing order and times, and every
+// statistic are identical to the page-at-a-time loop — the batching
+// removes lock and disk-model round-trips, not one transition.
+//
+// The caller holds s.mu; the starved reclaim path may drop and retake
+// it, so table state is re-probed afterwards (the rescan from p).
+func (s *shard) installRunLocked(c *Cache, io *IO, now time.Time, from, to int64, dirty, prefetched, count, advance bool) (fresh int64, dirtied bool, horizon time.Time) {
+	horizon = now
+	p := from
+	for p <= to {
+		if f := s.table.get(p); f != nil {
+			if count {
+				s.stats.Hits++
 			}
-			// used == NumPages means every frame in the budget is resident:
-			// the pool and every stripe's free list are provably empty, so
-			// the steady eviction state skips the pool lock and the sibling
-			// TryLock sweep entirely.
-			var f *frame
-			if c.used.Load() < int64(c.cfg.NumPages) {
-				if f = c.popFreeLocked(s); f == nil {
-					f = c.harvestFreeLocked(s)
-				}
+			if dirty && !f.dirty {
+				f.dirty = true
+				s.dirty++
+				s.noteDirtyLocked(c, p, f)
+				dirtied = true
 			}
-			if f == nil {
-				if victim := s.lru.back(); victim != nil {
-					at := now
-					if advance {
-						at = horizon
+			s.lru.moveToFront(f)
+			p++
+			continue
+		}
+		// Miss streak: extend over the consecutive non-resident pages of
+		// the run, then fill it chunk by chunk — each chunk as many
+		// frames as the free list and this stripe's LRU can supply
+		// without dropping the lock.
+		mEnd := s.scanMissLocked(p, to) - 1
+		for p <= mEnd {
+			s.gathered = s.gathered[:0]
+			need := mEnd - p + 1
+			for int64(len(s.gathered)) < need {
+				// used == NumPages means every frame in the budget is
+				// resident: the pool and every stripe's free list are
+				// provably empty, so the steady eviction state skips the
+				// pool lock and the sibling TryLock sweep entirely.
+				var f *frame
+				if c.used.Load() < int64(c.cfg.NumPages) {
+					if f = c.popFreeLocked(s); f == nil {
+						f = c.harvestFreeLocked(s)
 					}
-					done := s.evictLocked(c, io, at, victim)
-					if done.After(horizon) {
-						horizon = done
+				}
+				if f != nil {
+					// A frame from the pool becomes resident: account it
+					// now, where the page-granular loop accounts it right
+					// after acquiring the frame. A retired victim needs no
+					// accounting — its -1/+1 would cancel within this
+					// critical section (see retireLocked).
+					s.size.Add(1)
+					c.used.Add(1)
+				} else {
+					victim := s.lru.back()
+					if victim == nil {
+						break // stripe empty: reclaim below
 					}
+					s.retireLocked(c, victim)
 					f = victim
 				}
+				s.gathered = append(s.gathered, f)
 			}
-			if f == nil {
+			if len(s.gathered) == 0 {
 				// Budget exhausted and nothing local to evict: the sibling
 				// harvest/reclaim takes other stripes' locks, so drop ours
-				// and retry this page, as installPage does.
+				// and re-probe, as installPage does.
 				s.mu.Unlock()
 				at := now
 				if advance {
@@ -170,30 +216,29 @@ func (s *shard) installRun(c *Cache, io *IO, now time.Time, from, to int64, dirt
 					runtime.Gosched() // frames are in flight; let holders finish
 				}
 				s.mu.Lock()
-				continue
+				break // residency may have changed: rescan from p
 			}
-			if count {
-				s.stats.Misses++
+			horizon = s.billVictimsLocked(c, io, now, horizon, advance)
+			for _, f := range s.gathered {
+				if count {
+					s.stats.Misses++
+				}
+				f.page = p
+				f.dirty = dirty
+				f.prefetched = prefetched
+				s.table.put(f)
+				s.lru.pushFront(f)
+				if dirty {
+					s.dirty++
+					s.noteDirtyLocked(c, p, f)
+					dirtied = true
+				}
+				fresh++
+				p++
 			}
-			f.page = p
-			f.dirty = dirty
-			f.prefetched = prefetched
-			s.resident[p] = f
-			s.lru.pushFront(f)
-			s.size.Add(1)
-			c.used.Add(1)
-			if dirty {
-				s.dirty++
-				s.noteDirtyLocked(c, p, f)
-				dirtied = true
-			}
-			fresh++
-			break
 		}
 	}
-	dirtyCount = s.dirty
-	s.mu.Unlock()
-	return fresh, dirtyCount, dirtied, horizon
+	return fresh, dirtied, horizon
 }
 
 // installRange installs [first..last] by per-shard runs, returning the
@@ -243,6 +288,14 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 	}
 
 	sequential := io.noteRead(first, last)
+
+	if c.shardShift == 0 {
+		// Single-stripe configuration (the paper default): the whole
+		// range lives in shard 0, so the merged path below does lookup,
+		// miss accounting, fill, install, and read-ahead under one lock
+		// acquisition instead of one per phase.
+		return c.readIOOneShard(io, now, first, last, sequential)
+	}
 
 	done := now
 	page := first
@@ -304,6 +357,74 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 		done = done.Add(c.copyCost(nDemand * c.cfg.PageSize))
 		page = missEnd + 1
 	}
+	return done, done.Sub(now)
+}
+
+// readIOOneShard is ReadIO for the single-stripe cache: every page of
+// the range hashes to shard 0, so hit consumption, the miss-extent
+// scan, miss accounting, the demand fill, the install, and the
+// read-ahead window all run under one lock acquisition — the cold path
+// costs one shard mutex round-trip per read instead of three. Holding
+// the stripe lock across the simulated disk accesses is deadlock-free
+// (the disk model takes only its own mutex, never a shard's) and
+// deliberate: the fill and the eviction/read-ahead billing that must
+// interleave with it stay one critical section, which is what makes
+// the paper-default miss path cheap. The cost is that concurrent
+// sessions' private disk views no longer overlap in wall time while a
+// cold miss is in flight on the shared stripe — single-stripe mode is
+// the deterministic single-threaded configuration; concurrent
+// workloads run striped (ShardedConfig / -shards 0), which never
+// enters this path. Transitions and timing are those of the
+// multi-stripe loop exactly.
+func (c *Cache) readIOOneShard(io *IO, now time.Time, first, last int64, sequential bool) (time.Time, time.Duration) {
+	s := c.shards[0]
+	done := now
+	s.mu.Lock()
+	page := first
+	for page <= last {
+		p := s.consumeHitsLocked(page, last)
+		if n := p - page; n > 0 {
+			done = done.Add(time.Duration(n) * c.hitPageCost)
+			page = p
+			if page > last {
+				break
+			}
+		}
+		// Miss extent [page..missEnd].
+		missStart := page
+		missEnd := s.scanMissLocked(page+1, last) - 1
+		nDemand := missEnd - missStart + 1
+		s.stats.Misses += nDemand
+		s.stats.BytesFromDisk += nDemand * c.cfg.PageSize
+		diskDone, _ := io.backend.Access(done, simdisk.Request{
+			Offset: missStart * c.cfg.PageSize,
+			Length: nDemand * c.cfg.PageSize,
+		})
+		done = diskDone
+		s.installRunLocked(c, io, done, missStart, missEnd, false, false, false, false)
+		// Asynchronous read-ahead: queue the next window behind the
+		// demand fetch (and behind the demand installs' eviction
+		// write-backs, which the disk must service first). It occupies
+		// the disk but is not charged to this read — later sequential
+		// reads find the pages resident.
+		if sequential && c.cfg.PrefetchPages > 0 {
+			pfStart := missEnd + 1
+			pfEnd := missEnd + int64(c.cfg.PrefetchPages)
+			io.backend.Access(diskDone, simdisk.Request{
+				Offset: pfStart * c.cfg.PageSize,
+				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
+			})
+			brought, _, _ := s.installRunLocked(c, io, diskDone, pfStart, pfEnd, false, true, false, false)
+			if brought > 0 {
+				s.stats.PrefetchedIn += brought
+				s.stats.BytesFromDisk += brought * c.cfg.PageSize
+			}
+		}
+		// Copy the demanded part of the run to the caller.
+		done = done.Add(c.copyCost(nDemand * c.cfg.PageSize))
+		page = missEnd + 1
+	}
+	s.mu.Unlock()
 	return done, done.Sub(now)
 }
 

@@ -227,27 +227,27 @@ func TestConcurrentShardedAccess(t *testing.T) {
 	if got := c.ResidentPages(); got > cfg.NumPages {
 		t.Fatalf("ResidentPages = %d exceeds budget %d", got, cfg.NumPages)
 	}
-	// The atomic gauge, per-shard size mirrors, and the maps themselves
-	// must agree exactly once quiescent.
+	// The atomic gauge, per-shard size mirrors, and the page tables
+	// themselves must agree exactly once quiescent.
 	mapped, sized := 0, 0
 	dirtyFlags, dirtySets := 0, 0
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		mapped += len(sh.resident)
+		mapped += sh.table.len()
 		sized += int(sh.size.Load())
 		dirtySets += sh.dirty
-		for _, f := range sh.resident {
+		sh.table.each(func(f *frame) {
 			if f.dirty {
 				dirtyFlags++
 			}
-		}
-		if sh.lru.len() != len(sh.resident) {
-			t.Errorf("shard LRU has %d frames, map has %d", sh.lru.len(), len(sh.resident))
+		})
+		if sh.lru.len() != sh.table.len() {
+			t.Errorf("shard LRU has %d frames, table has %d", sh.lru.len(), sh.table.len())
 		}
 		sh.mu.Unlock()
 	}
 	if mapped != c.ResidentPages() || sized != mapped {
-		t.Fatalf("residency accounting skewed: maps=%d sizes=%d gauge=%d",
+		t.Fatalf("residency accounting skewed: tables=%d sizes=%d gauge=%d",
 			mapped, sized, c.ResidentPages())
 	}
 	if dirtyFlags != dirtySets || dirtySets != c.DirtyPages() {

@@ -22,8 +22,12 @@ type frame struct {
 	// compaction reaches it; wbSeq (the dirtying generation stamped on
 	// frame and entry alike) keeps such a ghost from matching a page
 	// re-installed and re-dirtied after eviction.
-	inWBQueue  bool
-	wbSeq      uint64
+	inWBQueue bool
+	wbSeq     uint64
+	// slot is the frame's current position in its shard's open-addressing
+	// page table, kept fresh by put/del/grow so removal never probes.
+	// Meaningful only while the frame is resident.
+	slot       int32
 	prev, next *frame
 }
 

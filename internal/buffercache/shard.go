@@ -9,17 +9,18 @@ import (
 	"repro/internal/simdisk"
 )
 
-// shard is one lock stripe of the cache: a mutex, the resident map for the
-// pages that hash here, an LRU list, a dirty-page count (the shard's dirty
-// set), and this stripe's slice of the statistics. Shards never take each
-// other's locks; cross-shard work (frame rebalancing, aggregation) goes
-// through the cache's global frame pool and the per-shard atomic gauges.
+// shard is one lock stripe of the cache: a mutex, the open-addressing
+// page table for the pages that hash here, an LRU list, a dirty-page
+// count (the shard's dirty set), and this stripe's slice of the
+// statistics. Shards never take each other's locks; cross-shard work
+// (frame rebalancing, aggregation) goes through the cache's global frame
+// pool and the per-shard atomic gauges.
 type shard struct {
-	mu       sync.Mutex
-	resident map[int64]*frame
-	lru      lruList
-	dirty    int   // dirty-set size; guarded by mu
-	stats    Stats // this stripe's counters; guarded by mu
+	mu    sync.Mutex
+	table pageTable
+	lru   lruList
+	dirty int   // dirty-set size; guarded by mu
+	stats Stats // this stripe's counters; guarded by mu
 	// free is this stripe's slice of the frame pool, refilled in batches
 	// from the cache-global pool so installs on different stripes stop
 	// serializing on the pool mutex. Guarded by mu.
@@ -35,7 +36,16 @@ type shard struct {
 	// its frame carry the generation, so an entry abandoned by clean or
 	// eviction never matches the page's next dirtying. Guarded by mu.
 	wbSeq uint64
-	// size mirrors len(resident) so the reclaim path can pick the fullest
+	// victims is the per-run eviction scratch: the dirty pages
+	// installRunLocked retires in one pass, recorded in eviction order so
+	// the write-backs can be billed afterwards as contiguous disk runs.
+	// Reused run to run, so the steady-state evict path allocates
+	// nothing. Guarded by mu.
+	victims []int64
+	// gathered is the per-run frame scratch for batched installs,
+	// likewise reused. Guarded by mu.
+	gathered []*frame
+	// size mirrors table.len() so the reclaim path can pick the fullest
 	// shard without taking every lock.
 	size atomic.Int32
 }
@@ -84,8 +94,8 @@ func (s *shard) noteDirtyLocked(c *Cache, p int64, f *frame) {
 func (s *shard) compactWBQueueLocked() {
 	kept := s.dirtyOrder[:0]
 	for _, e := range s.dirtyOrder {
-		f, ok := s.resident[e.page]
-		if !ok || !f.inWBQueue || f.wbSeq != e.seq {
+		f := s.table.get(e.page)
+		if f == nil || !f.inWBQueue || f.wbSeq != e.seq {
 			continue
 		}
 		if !f.dirty {
@@ -103,7 +113,7 @@ func (s *shard) compactWBQueueLocked() {
 // returned-to-free-state frame.
 func (s *shard) evictLocked(c *Cache, io *IO, now time.Time, victim *frame) time.Time {
 	s.lru.remove(victim)
-	delete(s.resident, victim.page)
+	s.table.del(victim)
 	s.size.Add(-1)
 	c.used.Add(-1)
 	s.stats.Evictions++
@@ -123,6 +133,70 @@ func (s *shard) evictLocked(c *Cache, io *IO, now time.Time, victim *frame) time
 	victim.prefetched = false
 	victim.inWBQueue = false
 	return done
+}
+
+// retireLocked is the gather-pass half of a batched eviction: it unlinks
+// victim from the LRU and the page table, keeps the dirty bookkeeping
+// exact, and — when the victim was dirty — records its page in the
+// shard's victim scratch for billVictimsLocked to bill afterwards.
+// Clean victims need no record: they produce no disk traffic, and
+// grouping dirty victims across a removed clean one changes nothing
+// (the completion time of request i+1 at the group boundary equals its
+// within-group value in both chaining modes). The residency gauges are
+// untouched because the caller immediately reuses the frame for an
+// install in the same critical section: the -1/+1 pairs the
+// page-granular loop performs cancel exactly, and every gauge read in
+// between sees the same value either way. The caller holds s.mu and
+// owns the returned-to-free-state frame.
+func (s *shard) retireLocked(c *Cache, victim *frame) {
+	s.lru.remove(victim)
+	s.table.del(victim)
+	s.stats.Evictions++
+	if victim.dirty {
+		s.dirty--
+		s.stats.DirtyFlushes++
+		s.stats.BytesToDisk += c.cfg.PageSize
+		s.victims = append(s.victims, victim.page)
+	}
+	victim.page = -1
+	victim.dirty = false
+	victim.prefetched = false
+	victim.inWBQueue = false
+}
+
+// billVictimsLocked submits the write-backs of the dirty victims
+// collected by retireLocked, in eviction order, each maximal contiguous
+// span as one AccessRun. When advance is set each span starts at the
+// running horizon (the write path's accounting, chained request to
+// request); otherwise every request is issued at now (the read path's).
+// The completion times and disk statistics are bit-identical to the
+// per-victim Access calls evictLocked would have made. Clears the
+// scratch; returns the furthest write-back horizon. The caller holds
+// s.mu.
+func (s *shard) billVictimsLocked(c *Cache, io *IO, now, horizon time.Time, advance bool) time.Time {
+	for i := 0; i < len(s.victims); {
+		j := i + 1
+		for j < len(s.victims) && s.victims[j] == s.victims[j-1]+1 {
+			j++
+		}
+		at := now
+		if advance {
+			at = horizon
+		}
+		done := io.accessRun(at, simdisk.Run{
+			Offset: s.victims[i] * c.cfg.PageSize,
+			Length: c.cfg.PageSize,
+			Count:  int64(j - i),
+			Write:  true,
+			Chain:  advance,
+		})
+		if done.After(horizon) {
+			horizon = done
+		}
+		i = j
+	}
+	s.victims = s.victims[:0]
+	return horizon
 }
 
 // popFreeLocked takes a frame for shard s: from its local free list, or
@@ -245,8 +319,8 @@ func (c *Cache) reclaimRemote(io *IO, now time.Time) (time.Time, bool) {
 func (c *Cache) touchHit(page int64) bool {
 	s := c.shardOf(page)
 	s.mu.Lock()
-	f, ok := s.resident[page]
-	if !ok {
+	f := s.table.get(page)
+	if f == nil {
 		s.mu.Unlock()
 		return false
 	}
@@ -265,7 +339,7 @@ func (c *Cache) touchHit(page int64) bool {
 func (c *Cache) isResident(page int64) bool {
 	s := c.shardOf(page)
 	s.mu.Lock()
-	_, ok := s.resident[page]
+	ok := s.table.get(page) != nil
 	s.mu.Unlock()
 	return ok
 }
@@ -288,7 +362,7 @@ func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched
 	horizon = now
 	for {
 		s.mu.Lock()
-		if f, ok := s.resident[page]; ok {
+		if f := s.table.get(page); f != nil {
 			if count {
 				s.stats.Hits++
 			}
@@ -330,7 +404,7 @@ func (c *Cache) installPage(io *IO, now time.Time, page int64, dirty, prefetched
 			f.page = page
 			f.dirty = dirty
 			f.prefetched = prefetched
-			s.resident[page] = f
+			s.table.put(f)
 			s.lru.pushFront(f)
 			s.size.Add(1)
 			c.used.Add(1)

@@ -154,8 +154,8 @@ func (wb *writeback) drainShard(si int, at time.Time) (int, time.Time) {
 		consumed := 0
 		for consumed < len(s.dirtyOrder) {
 			e := s.dirtyOrder[consumed]
-			f, ok := s.resident[e.page]
-			if !ok || !f.inWBQueue || f.wbSeq != e.seq {
+			f := s.table.get(e.page)
+			if f == nil || !f.inWBQueue || f.wbSeq != e.seq {
 				consumed++
 				continue
 			}
@@ -200,10 +200,25 @@ func (wb *writeback) drainShard(si int, at time.Time) (int, time.Time) {
 		if bb, ok := c.wbBackend.(BatchBackend); ok {
 			_, end = bb.ServeBatch(start, reqs, c.cfg.WritebackPolicy)
 		} else {
+			// No batch scheduler: submit the queue in arrival order,
+			// contiguous spans as single chained runs — the same writes
+			// at the same completion-chained times as the per-request
+			// loop this replaces.
 			end = start
-			for _, req := range reqs {
-				done, _ := c.wbBackend.Access(end, req)
-				end = done
+			for i := 0; i < len(reqs); {
+				j := i + 1
+				for j < len(reqs) && reqs[j].Length == reqs[i].Length &&
+					reqs[j].Offset == reqs[j-1].Offset+reqs[j-1].Length {
+					j++
+				}
+				end = backendRun(c.wbBackend, end, simdisk.Run{
+					Offset: reqs[i].Offset,
+					Length: reqs[i].Length,
+					Count:  int64(j - i),
+					Write:  true,
+					Chain:  true,
+				})
+				i = j
 			}
 		}
 		lane.Set(end)

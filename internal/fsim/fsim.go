@@ -17,6 +17,14 @@
 // with a private disk-timing view, so concurrent workers advance
 // simulated time in parallel and the aggregate elapsed time is the
 // longest lane, not the sum.
+//
+// Disk billing is run-granular: every disk view here is a
+// *simdisk.Array, which implements buffercache.RunBackend, so the
+// cache's cold paths — eviction write-backs, the flush-on-close sweep
+// (FlushRange), and Settle's final Flush — submit contiguous page spans
+// as single AccessRun calls rather than one Access per page. The
+// simulated completion times are bit-identical either way; only the
+// engine's wall cost differs.
 package fsim
 
 import (

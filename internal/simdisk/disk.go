@@ -135,6 +135,17 @@ func (s *Stats) Add(other Stats) {
 type Disk struct {
 	params Params
 
+	// Geometry constants hoisted out of the per-access cost math at New:
+	// the rotation period (one division off every rotational-delay
+	// computation) and the float conversions of the seek curve. The
+	// per-access arithmetic keeps the exact operation order of the
+	// original formulas, so hoisting changes nothing bit for bit.
+	rotDur   time.Duration // one full revolution
+	rotF     float64       // float64(rotDur)
+	seekSpan float64       // float64(FullStrokeSeek - TrackToTrackSeek)
+	capF     float64       // float64(Capacity)
+	trackF   float64       // float64(TrackSize)
+
 	mu        sync.Mutex
 	headPos   int64     // current head byte offset
 	busyUntil time.Time // completion time of the last accepted request
@@ -147,7 +158,13 @@ func New(p Params) (*Disk, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Disk{params: p}, nil
+	d := &Disk{params: p}
+	d.rotDur = p.rotation()
+	d.rotF = float64(d.rotDur)
+	d.seekSpan = float64(p.FullStrokeSeek - p.TrackToTrackSeek)
+	d.capF = float64(p.Capacity)
+	d.trackF = float64(p.TrackSize)
+	return d, nil
 }
 
 // MustNew is New for tests and tool wiring where parameters are literals.
@@ -180,13 +197,12 @@ func (d *Disk) seekTime(distance int64) time.Duration {
 	if distance < 0 {
 		distance = -distance
 	}
-	frac := float64(distance) / float64(d.params.Capacity)
+	frac := float64(distance) / d.capF
 	if frac > 1 {
 		frac = 1
 	}
 	// sqrt gives the concave shape; calibrated so frac=1/3 ≈ avg seek.
-	span := float64(d.params.FullStrokeSeek - d.params.TrackToTrackSeek)
-	return d.params.TrackToTrackSeek + time.Duration(span*math.Sqrt(frac))
+	return d.params.TrackToTrackSeek + time.Duration(d.seekSpan*math.Sqrt(frac))
 }
 
 // rotationalDelay returns the deterministic rotational latency for a
@@ -201,8 +217,7 @@ func (d *Disk) rotationalDelay(from, to int64) time.Duration {
 	if delta < 0 {
 		delta += track
 	}
-	rot := d.params.rotation()
-	return time.Duration(float64(rot) * float64(delta) / float64(track))
+	return time.Duration(d.rotF * float64(delta) / d.trackF)
 }
 
 // transferTime returns the media transfer time for length bytes.
@@ -220,26 +235,50 @@ type Request struct {
 	Write  bool
 }
 
-// Access services req starting no earlier than now and returns the
-// completion time and the request's service duration (excluding queue
-// wait). Offsets are clamped into the disk; zero-length requests cost only
-// controller overhead. Access advances the head.
-func (d *Disk) Access(now time.Time, req Request) (done time.Time, service time.Duration) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
-	off := req.Offset
+// clampOffset confines a target offset to the addressable space. It is
+// the single clamping rule every cost and head computation goes through.
+func (d *Disk) clampOffset(off int64) int64 {
 	if off < 0 {
-		off = 0
+		return 0
 	}
 	if off >= d.params.Capacity {
-		off = d.params.Capacity - 1
+		return d.params.Capacity - 1
 	}
+	return off
+}
 
-	seek := d.seekTime(off - d.headPos)
-	rotDelay := d.rotationalDelay(d.headPos, off)
-	xfer := d.transferTime(req.Length)
-	service = d.params.ControllerOverhead + seek + rotDelay + xfer
+// headAfter returns the head position after transferring length bytes at
+// the (already clamped) offset: the transfer end, clamped so a
+// run-off-the-end request parks the head on the last byte. Shared by
+// Access, AccessRun, and the cost prediction so the two can never
+// disagree about where a boundary request leaves the head.
+func (d *Disk) headAfter(off, length int64) int64 {
+	head := off + length
+	if head >= d.params.Capacity {
+		head = d.params.Capacity - 1
+	}
+	return head
+}
+
+// serviceLocked computes the clamped target offset and the service-time
+// components a request costs with the head at its current position. It is
+// the one copy of the cost arithmetic — Access, AccessRun, ServeBatch,
+// and ServiceTime all route through it, so the serving and predicting
+// sides can never drift. The caller holds d.mu.
+func (d *Disk) serviceLocked(req Request) (off int64, seek, rot, xfer, service time.Duration) {
+	off = d.clampOffset(req.Offset)
+	seek = d.seekTime(off - d.headPos)
+	rot = d.rotationalDelay(d.headPos, off)
+	xfer = d.transferTime(req.Length)
+	service = d.params.ControllerOverhead + seek + rot + xfer
+	return off, seek, rot, xfer, service
+}
+
+// accessLocked services one request starting no earlier than now: cost,
+// queue wait on the busy horizon, head advance, statistics. The caller
+// holds d.mu.
+func (d *Disk) accessLocked(now time.Time, req Request) (done time.Time, service time.Duration) {
+	off, seek, rot, xfer, service := d.serviceLocked(req)
 
 	start := now
 	if d.busyUntil.After(start) {
@@ -248,10 +287,7 @@ func (d *Disk) Access(now time.Time, req Request) (done time.Time, service time.
 	}
 	done = start.Add(service)
 	d.busyUntil = done
-	d.headPos = off + req.Length
-	if d.headPos >= d.params.Capacity {
-		d.headPos = d.params.Capacity - 1
-	}
+	d.headPos = d.headAfter(off, req.Length)
 
 	if req.Write {
 		d.stats.Writes++
@@ -261,29 +297,131 @@ func (d *Disk) Access(now time.Time, req Request) (done time.Time, service time.
 		d.stats.BytesRead += req.Length
 	}
 	d.stats.SeekTime += seek
-	d.stats.RotationTime += rotDelay
+	d.stats.RotationTime += rot
 	d.stats.TransferTime += xfer
 	d.stats.BusyTime += service
 	return done, service
 }
 
+// Access services req starting no earlier than now and returns the
+// completion time and the request's service duration (excluding queue
+// wait). Offsets are clamped into the disk; zero-length requests cost only
+// controller overhead. Access advances the head.
+func (d *Disk) Access(now time.Time, req Request) (done time.Time, service time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.accessLocked(now, req)
+}
+
 // ServiceTime returns the service time Access would charge for req with
 // the head at its current position, without performing the access. Useful
-// for analytic model calibration.
+// for analytic model calibration. It shares serviceLocked with Access, so
+// the prediction is exact — including at the capacity boundary, where
+// both sides clamp the target offset and the post-transfer head the same
+// way.
 func (d *Disk) ServiceTime(req Request) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	off := req.Offset
-	if off < 0 {
-		off = 0
+	_, _, _, _, service := d.serviceLocked(req)
+	return service
+}
+
+// Run describes a contiguous run of equal-length requests: Count
+// requests of Length bytes each, the i'th at Offset + i*Length. The
+// buffer cache submits miss fills, eviction write-backs, and write-back
+// drains this way — one AccessRun call instead of Count Access calls.
+type Run struct {
+	// Offset is the first request's byte offset.
+	Offset int64
+	// Length is the per-request length in bytes.
+	Length int64
+	// Count is the number of requests.
+	Count int64
+	// Write marks every request in the run as a write.
+	Write bool
+	// Chain issues request i+1 at the completion time of request i
+	// (a caller advancing its clock between submissions). When false
+	// every request is issued at now and queues on the busy horizon;
+	// completion and service times are identical either way, only the
+	// queue-wait accounting differs.
+	Chain bool
+}
+
+// AccessRun services r.Count contiguous requests under one lock
+// acquisition and returns the last completion time and the summed
+// service duration. It performs the same per-request arithmetic in the
+// same order as the equivalent sequence of Access calls, so completion
+// times, service times, and statistics are bit-identical — pinned by
+// TestAccessRunMatchesSequentialAccess. The fast path: once the head is
+// at the next request's offset (always, after the first request of a
+// contiguous run), seek and rotation are exactly zero and the transfer
+// time — a pure function of the constant length — is computed once, so
+// steady-state pages cost integer arithmetic only.
+func (d *Disk) AccessRun(now time.Time, r Run) (done time.Time, service time.Duration) {
+	done = now
+	if r.Count <= 0 {
+		return done, 0
 	}
-	if off >= d.params.Capacity {
-		off = d.params.Capacity - 1
+	d.mu.Lock()
+	var (
+		t          = now
+		off        = r.Offset
+		xferCached time.Duration
+		haveXfer   bool
+		// Locally accumulated statistics, added in one batch at the end.
+		// Integer sums are associative, so the batched totals equal the
+		// per-request additions of sequential Access calls.
+		seekSum, rotSum, xferSum, busySum, waitSum time.Duration
+	)
+	for i := int64(0); i < r.Count; i++ {
+		o := d.clampOffset(off)
+		var seek, rot, xfer, svc time.Duration
+		if o == d.headPos {
+			// Zero head travel: seekTime(0) and a zero rotational delta
+			// are exactly 0, and the transfer time depends only on the
+			// run's constant length, so the first computation serves the
+			// whole run.
+			if !haveXfer {
+				xferCached = d.transferTime(r.Length)
+				haveXfer = true
+			}
+			xfer = xferCached
+			svc = d.params.ControllerOverhead + xfer
+		} else {
+			_, seek, rot, xfer, svc = d.serviceLocked(Request{Offset: o, Length: r.Length, Write: r.Write})
+		}
+		start := t
+		if d.busyUntil.After(start) {
+			waitSum += d.busyUntil.Sub(start)
+			start = d.busyUntil
+		}
+		done = start.Add(svc)
+		d.busyUntil = done
+		d.headPos = d.headAfter(o, r.Length)
+		seekSum += seek
+		rotSum += rot
+		xferSum += xfer
+		busySum += svc
+		service += svc
+		if r.Chain {
+			t = done
+		}
+		off += r.Length
 	}
-	return d.params.ControllerOverhead +
-		d.seekTime(off-d.headPos) +
-		d.rotationalDelay(d.headPos, off) +
-		d.transferTime(req.Length)
+	if r.Write {
+		d.stats.Writes += r.Count
+		d.stats.BytesWritten += r.Count * r.Length
+	} else {
+		d.stats.Reads += r.Count
+		d.stats.BytesRead += r.Count * r.Length
+	}
+	d.stats.SeekTime += seekSum
+	d.stats.RotationTime += rotSum
+	d.stats.TransferTime += xferSum
+	d.stats.BusyTime += busySum
+	d.stats.QueueWaitedTime += waitSum
+	d.mu.Unlock()
+	return done, service
 }
 
 // Head returns the current head byte offset, the position batch

@@ -1,0 +1,186 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+// runParams is a small disk so capacity-boundary cases are cheap to hit.
+func runParams() Params {
+	p := DefaultParams()
+	p.Capacity = 1 << 20
+	return p
+}
+
+// seqAccessRun replays r as the sequence of Access calls AccessRun must
+// be bit-identical to.
+func seqAccessRun(d *Disk, now time.Time, r Run) (done time.Time, service time.Duration) {
+	done = now
+	t := now
+	off := r.Offset
+	for i := int64(0); i < r.Count; i++ {
+		var svc time.Duration
+		done, svc = d.Access(t, Request{Offset: off, Length: r.Length, Write: r.Write})
+		service += svc
+		if r.Chain {
+			t = done
+		}
+		off += r.Length
+	}
+	return done, service
+}
+
+// TestAccessRunMatchesSequentialAccess pins the AccessRun contract: for
+// contiguous runs — including ones starting away from the head (a seek),
+// crossing the capacity boundary, negative offsets, and both chaining
+// modes — the completion time, total service, statistics, and final head
+// position are bit-identical to the equivalent Access sequence.
+func TestAccessRunMatchesSequentialAccess(t *testing.T) {
+	now := time.Unix(10, 0)
+	runs := []Run{
+		{Offset: 0, Length: 4096, Count: 16},
+		{Offset: 12288, Length: 4096, Count: 5, Write: true},
+		{Offset: 12288, Length: 4096, Count: 5, Write: true, Chain: true},
+		{Offset: 1<<20 - 3*4096, Length: 4096, Count: 8},              // runs off the end
+		{Offset: 1<<20 - 3*4096, Length: 4096, Count: 8, Chain: true}, // ditto, chained
+		{Offset: -8192, Length: 4096, Count: 4},                       // negative clamp
+		{Offset: 777, Length: 1000, Count: 3, Write: true},            // unaligned
+		{Offset: 4096, Length: 0, Count: 3},                           // zero-length positioning
+		{Offset: 4096, Length: 4096, Count: 0},                        // empty run
+	}
+	a := MustNew(runParams())
+	b := MustNew(runParams())
+	// Arbitrary warm-up so the head and busy horizon are non-trivial.
+	a.Access(now, Request{Offset: 64 << 10, Length: 8192})
+	b.Access(now, Request{Offset: 64 << 10, Length: 8192})
+	at := now
+	for i, r := range runs {
+		doneA, svcA := a.AccessRun(at, r)
+		doneB, svcB := seqAccessRun(b, at, r)
+		if !doneA.Equal(doneB) || svcA != svcB {
+			t.Fatalf("run %d: AccessRun (done %v, svc %v) != sequential (done %v, svc %v)",
+				i, doneA, svcA, doneB, svcB)
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("run %d: stats diverge:\nrun: %+v\nseq: %+v", i, a.Stats(), b.Stats())
+		}
+		if a.Head() != b.Head() {
+			t.Fatalf("run %d: head %d != %d", i, a.Head(), b.Head())
+		}
+		at = doneA // keep advancing so busy horizons stay interesting
+	}
+}
+
+// seqArrayRun is the Array equivalent of seqAccessRun.
+func seqArrayRun(a *Array, now time.Time, r Run) time.Time {
+	done := now
+	t := now
+	off := r.Offset
+	for i := int64(0); i < r.Count; i++ {
+		done, _ = a.Access(t, Request{Offset: off, Length: r.Length, Write: r.Write})
+		if r.Chain {
+			t = done
+		}
+		off += r.Length
+	}
+	return done
+}
+
+// TestArrayAccessRunMatchesSequentialAccess pins Array.AccessRun for
+// RAID-0 runs that stay within stripe units (the forwarded fast path),
+// runs that straddle stripe boundaries (the splitter fallback), and the
+// RAID-1/RAID-5 per-request fallbacks.
+func TestArrayAccessRunMatchesSequentialAccess(t *testing.T) {
+	now := time.Unix(10, 0)
+	cases := []struct {
+		name  string
+		disks int
+		level Level
+		run   Run
+	}{
+		{"raid0-pages", 4, RAID0, Run{Offset: 0, Length: 4096, Count: 64}},
+		{"raid0-pages-chain", 4, RAID0, Run{Offset: 128 << 10, Length: 4096, Count: 40, Write: true, Chain: true}},
+		{"raid0-straddle", 3, RAID0, Run{Offset: 48 << 10, Length: 48 << 10, Count: 6}},
+		{"raid0-single-disk", 1, RAID0, Run{Offset: 8192, Length: 4096, Count: 32, Write: true}},
+		{"raid1", 2, RAID1, Run{Offset: 0, Length: 4096, Count: 16, Write: true}},
+		{"raid5", 4, RAID5, Run{Offset: 0, Length: 4096, Count: 16, Write: true, Chain: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			mk := func() *Array {
+				a, err := NewArrayLevel(tc.disks, 64<<10, tc.level, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+			a, b := mk(), mk()
+			doneA, _ := a.AccessRun(now, tc.run)
+			doneB := seqArrayRun(b, now, tc.run)
+			if !doneA.Equal(doneB) {
+				t.Fatalf("AccessRun done %v != sequential %v", doneA, doneB)
+			}
+			if a.Head() != b.Head() {
+				t.Fatalf("logical head %d != %d", a.Head(), b.Head())
+			}
+			for i := 0; i < tc.disks; i++ {
+				if a.Disk(i).Stats() != b.Disk(i).Stats() {
+					t.Fatalf("disk %d stats diverge:\nrun: %+v\nseq: %+v",
+						i, a.Disk(i).Stats(), b.Disk(i).Stats())
+				}
+				if a.Disk(i).Head() != b.Disk(i).Head() {
+					t.Fatalf("disk %d head %d != %d", i, a.Disk(i).Head(), b.Disk(i).Head())
+				}
+			}
+		})
+	}
+}
+
+// TestServiceTimePredictsAccessAtCapacityBoundary is the regression test
+// for the clamp alignment: after a transfer runs off the end of the disk
+// (parking the head on the last byte), ServiceTime's prediction for any
+// follow-up request — including another boundary request — must equal
+// the service Access then charges, because both sides share one cost
+// helper and one clamping rule.
+func TestServiceTimePredictsAccessAtCapacityBoundary(t *testing.T) {
+	p := runParams()
+	d := MustNew(p)
+	now := time.Unix(0, 0)
+
+	// Run off the end: offset inside, offset+length past capacity.
+	d.Access(now, Request{Offset: p.Capacity - 4096, Length: 64 << 10})
+	if got := d.Head(); got != p.Capacity-1 {
+		t.Fatalf("head after run-off-the-end transfer = %d, want %d", got, p.Capacity-1)
+	}
+
+	followUps := []Request{
+		{Offset: p.Capacity - 1, Length: 4096},       // at the parked head
+		{Offset: p.Capacity + 5000, Length: 4096},    // clamped target
+		{Offset: 0, Length: 4096, Write: true},       // full-stroke seek back
+		{Offset: p.Capacity - 4096, Length: 1 << 20}, // boundary again
+		{Offset: -1, Length: 4096},                   // negative clamp
+	}
+	for i, req := range followUps {
+		predicted := d.ServiceTime(req)
+		_, got := d.Access(now, req)
+		if predicted != got {
+			t.Fatalf("follow-up %d: ServiceTime predicted %v, Access charged %v", i, predicted, got)
+		}
+	}
+}
+
+// TestAccessRunZeroAllocs pins the steady-state run path (head already
+// at the run's offset) at zero allocations.
+func TestAccessRunZeroAllocs(t *testing.T) {
+	d := MustNew(runParams())
+	now := time.Unix(0, 0)
+	off := int64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		d.AccessRun(now, Run{Offset: off, Length: 4096, Count: 16, Write: true, Chain: true})
+		off = (off + 16*4096) % (1 << 19)
+	})
+	if allocs != 0 {
+		t.Fatalf("AccessRun allocates %.1f objects/op, want 0", allocs)
+	}
+}

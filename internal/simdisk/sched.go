@@ -114,7 +114,10 @@ func ScheduleOrder(head int64, reqs []Request, policy SchedPolicy) []int {
 }
 
 // ServeBatch services a queue of simultaneously pending requests in the
-// order chosen by policy, starting no earlier than now. It returns
+// order chosen by policy, starting no earlier than now. The whole batch
+// runs under one lock acquisition — each request still pays the same
+// cost arithmetic and queues on the busy horizon exactly as a sequential
+// Access call would, so the results are bit-identical. It returns
 // per-request results in submission order plus the batch completion time.
 func (d *Disk) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]BatchResult, time.Time) {
 	if len(reqs) == 0 {
@@ -123,13 +126,15 @@ func (d *Disk) ServeBatch(now time.Time, reqs []Request, policy SchedPolicy) ([]
 	order := ScheduleOrder(d.Head(), reqs, policy)
 	results := make([]BatchResult, len(reqs))
 	end := now
+	d.mu.Lock()
 	for _, idx := range order {
-		done, svc := d.Access(now, reqs[idx])
+		done, svc := d.accessLocked(now, reqs[idx])
 		results[idx] = BatchResult{Index: idx, Done: done, Service: svc}
 		if done.After(end) {
 			end = done
 		}
 	}
+	d.mu.Unlock()
 	return results, end
 }
 
