@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-cold bench-json fmt vet fmt-check ci
+.PHONY: all build test race bench bench-cold bench-json stdfs-smoke fmt vet fmt-check ci
 
 all: build
 
@@ -46,6 +46,14 @@ bench-cold:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_5.json -baseline BENCH_5.json
 
+# End-to-end smoke for the io/fs facade: the example runs unmodified
+# stdlib code (fs.WalkDir, fs.ReadFile, archive/tar) against the
+# simulated store and prints the ledger costs. It exercises directory
+# synthesis, the handle Read/Seek path, and session-lane billing in one
+# deterministic program.
+stdfs-smoke:
+	$(GO) run ./examples/stdfs
+
 fmt:
 	gofmt -w .
 
@@ -58,4 +66,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test race bench bench-cold
+ci: build vet fmt-check test race bench bench-cold stdfs-smoke

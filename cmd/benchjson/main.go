@@ -45,12 +45,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"testing"
 	"time"
 
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
+	"repro/internal/fsim/stdfs"
 	"repro/internal/simdisk"
 	"repro/internal/tracegen"
 	"repro/internal/tracesim"
@@ -205,6 +207,62 @@ func hotPathBenches() []hotPathRow {
 		for i := 0; i < b.N; i++ {
 			mcache.Read(now, moff, 4096)
 			moff = (moff + 4096) % (1 << 30)
+		}
+	})))
+
+	// Facade-overhead pair: fs.WalkDir + Open/Read/Close through the
+	// io/fs facade over a warm 32-file catalog, against the same catalog
+	// read through the native Session.Open+Read path. The delta is the
+	// per-file cost of the stdlib adapter (interface wrapping, directory
+	// synthesis, ledger billing). Not guarded: both rows are dominated by
+	// per-file fixed costs that track host allocator behavior.
+	wstore := fsim.MustNewFileStore(fsim.DefaultConfig())
+	payload := make([]byte, 4<<10)
+	for i := 0; i < 32; i++ {
+		if _, err := wstore.Create(fmt.Sprintf("d%d/f%d.bin", i%4, i), payload); err != nil {
+			fatal(err)
+		}
+	}
+	fsys := stdfs.New(wstore)
+	fbuf := make([]byte, 4<<10)
+	rows = append(rows, row("stdfs_walkdir", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+				if err != nil || d.IsDir() {
+					return err
+				}
+				h, err := fsys.Open(p)
+				if err != nil {
+					return err
+				}
+				if _, err := h.Read(fbuf); err != nil {
+					h.Close()
+					return err
+				}
+				return h.Close()
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+	})))
+	names := wstore.Names()
+	rows = append(rows, row("stdfs_native_read", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, name := range names {
+				h, _, err := wstore.Open(name)
+				if err != nil {
+					fatal(err)
+				}
+				if _, _, err := h.Read(fbuf); err != nil {
+					fatal(err)
+				}
+				if _, err := h.Close(); err != nil {
+					fatal(err)
+				}
+			}
 		}
 	})))
 	return rows

@@ -8,12 +8,15 @@
 //	webbench -mode serve -addr :5050
 //	webbench -mode serve -shards 0        # lock-striped page cache, auto
 //	webbench -mode serve -lanes -writeback 8 -sched scan   # per-connection lanes
+//	webbench -mode servefs -addr :5050    # stdlib http.FileServer over the io/fs facade
 //	webbench -mode load -target 127.0.0.1:5050 -clients 8 -requests 100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "tables", "tables | serve | load")
+		mode      = flag.String("mode", "tables", "tables | serve | servefs | load")
 		addr      = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "listen address for serve mode")
 		target    = flag.String("target", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "server address for load mode")
 		clients   = flag.Int("clients", 4, "concurrent clients in load mode")
@@ -49,6 +52,8 @@ func main() {
 		runTables()
 	case "serve":
 		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched)
+	case "servefs":
+		runServeFS(*addr, *shards)
 	case "load":
 		runLoad(*target, *clients, *requests, *posts)
 	default:
@@ -123,6 +128,44 @@ func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched 
 	<-sig
 	srv.Close()
 	printRecords(srv.Records())
+}
+
+// runServeFS serves the benchmark corpus as plain HTTP through
+// http.FileServer over the stdfs facade: any HTTP client (curl, a
+// browser, hey) becomes a workload generator against the simulator.
+// Each request runs on its own session lane; records carry the
+// simulated per-request I/O time, like the native server's.
+func runServeFS(addr string, shards int) {
+	cfg := fsim.DefaultConfig()
+	if shards == 0 {
+		shards = buffercache.AutoShards()
+	}
+	cfg.Cache.Shards = shards
+	store, err := fsim.NewFileStore(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	if err := workload.Install(store, workload.WebCorpus()); err != nil {
+		fatal(err)
+	}
+	handler := webserver.NewHTTPFS(store)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: handler}
+	go hs.Serve(ln)
+	fmt.Printf("serving benchmark corpus on http://%s via http.FileServer over the io/fs facade (%d cache stripes, ctrl-c to stop)\n",
+		ln.Addr(), store.Cache().NumShards())
+	for _, spec := range workload.WebCorpus() {
+		fmt.Printf("  GET /%s  (%d bytes)\n", spec.Name, spec.Size)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	hs.Close()
+	printRecords(handler.Records())
 }
 
 func runLoad(target string, clients, requests int, posts bool) {

@@ -117,9 +117,16 @@ func (s *shard) scanMissRun(from, to int64) (missEnd int64, open bool) {
 // the same per-page transitions as installPage; see installRunLocked.
 // It returns the count of freshly installed pages, the stripe's dirty
 // count after the run, whether any page transitioned clean->dirty, and
-// the final eviction/write-back horizon.
-func (s *shard) installRun(c *Cache, io *IO, now time.Time, from, to int64, dirty, prefetched, count, advance bool) (fresh int64, dirtyCount int, dirtied bool, horizon time.Time) {
+// the final eviction/write-back horizon. preMiss folds a demand fetch's
+// miss accounting (preMiss misses and their disk bytes, booked to this
+// stripe) into the install's critical section, so the cold path does not
+// pay a separate lock round-trip just to count.
+func (s *shard) installRun(c *Cache, io *IO, now time.Time, from, to int64, dirty, prefetched, count, advance bool, preMiss int64) (fresh int64, dirtyCount int, dirtied bool, horizon time.Time) {
 	s.mu.Lock()
+	if preMiss > 0 {
+		s.stats.Misses += preMiss
+		s.stats.BytesFromDisk += preMiss * c.cfg.PageSize
+	}
 	fresh, dirtied, horizon = s.installRunLocked(c, io, now, from, to, dirty, prefetched, count, advance)
 	dirtyCount = s.dirty
 	s.mu.Unlock()
@@ -244,8 +251,10 @@ func (s *shard) installRunLocked(c *Cache, io *IO, now time.Time, from, to int64
 // installRange installs [first..last] by per-shard runs, returning the
 // number of freshly installed pages and the furthest eviction horizon.
 // The install order, and so every eviction decision, matches the
-// page-granular loop page for page.
-func (c *Cache) installRange(io *IO, now time.Time, first, last int64, dirty, prefetched, count, advance bool) (fresh int64, horizon time.Time) {
+// page-granular loop page for page. preMiss is booked to the first run's
+// stripe (the stripe of page `first` — where the separate accounting
+// step used to book it) under that run's install lock.
+func (c *Cache) installRange(io *IO, now time.Time, first, last int64, dirty, prefetched, count, advance bool, preMiss int64) (fresh int64, horizon time.Time) {
 	horizon = now
 	page := first
 	for page <= last {
@@ -255,7 +264,8 @@ func (c *Cache) installRange(io *IO, now time.Time, first, last int64, dirty, pr
 		if advance {
 			at = horizon
 		}
-		n, dc, dirtied, h := c.shards[si].installRun(c, io, at, page, runEnd, dirty, prefetched, count, advance)
+		n, dc, dirtied, h := c.shards[si].installRun(c, io, at, page, runEnd, dirty, prefetched, count, advance, preMiss)
+		preMiss = 0
 		fresh += n
 		if h.After(horizon) {
 			horizon = h
@@ -323,18 +333,19 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 			}
 			missEnd = e
 		}
+		// The demand fetch's miss accounting rides into the first install
+		// run's critical section (installRange's preMiss), booked to the
+		// stripe of missStart exactly as the separate locked step used to
+		// book it — a miss run is two lock acquisitions (lookup, install),
+		// not three.
 		nDemand := missEnd - missStart + 1
 		rs := c.shardOf(missStart)
-		rs.mu.Lock()
-		rs.stats.Misses += nDemand
-		rs.stats.BytesFromDisk += nDemand * c.cfg.PageSize
-		rs.mu.Unlock()
 		diskDone, _ := io.backend.Access(done, simdisk.Request{
 			Offset: missStart * c.cfg.PageSize,
 			Length: nDemand * c.cfg.PageSize,
 		})
 		done = diskDone
-		c.installRange(io, done, missStart, missEnd, false, false, false, false)
+		c.installRange(io, done, missStart, missEnd, false, false, false, false, nDemand)
 		// Asynchronous read-ahead: queue the next window behind the
 		// demand fetch. It occupies the disk but is not charged to this
 		// read — later sequential reads find the pages resident.
@@ -345,7 +356,7 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 				Offset: pfStart * c.cfg.PageSize,
 				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
 			})
-			brought, _ := c.installRange(io, diskDone, pfStart, pfEnd, false, true, false, false)
+			brought, _ := c.installRange(io, diskDone, pfStart, pfEnd, false, true, false, false, 0)
 			if brought > 0 {
 				rs.mu.Lock()
 				rs.stats.PrefetchedIn += brought
@@ -451,7 +462,7 @@ func (c *Cache) WriteIO(io *IO, now time.Time, offset, length int64) (time.Time,
 	for page <= last {
 		si := c.shardIndex(page)
 		runEnd := c.shardRunEnd(si, page, last)
-		_, dc, dirtied, horizon := c.shards[si].installRun(c, io, done, page, runEnd, c.cfg.WriteBehind, false, true, true)
+		_, dc, dirtied, horizon := c.shards[si].installRun(c, io, done, page, runEnd, c.cfg.WriteBehind, false, true, true, 0)
 		if horizon.After(done) {
 			done = horizon // eviction write-back stalled us
 		}

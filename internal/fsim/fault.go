@@ -88,6 +88,14 @@ func (s *FaultStore) Remove(name string) (time.Duration, error) {
 	return s.inner.Remove(name)
 }
 
+// Stat passes through unless a fault fires.
+func (s *FaultStore) Stat(name string) (int64, time.Duration, error) {
+	if s.shouldFail() {
+		return 0, 0, ErrInjected
+	}
+	return s.inner.Stat(name)
+}
+
 // Exists passes through (metadata probes do not consume fault budget).
 func (s *FaultStore) Exists(name string) bool { return s.inner.Exists(name) }
 

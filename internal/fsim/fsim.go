@@ -28,8 +28,8 @@
 package fsim
 
 import (
-	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,6 +49,10 @@ type Store interface {
 	Open(name string) (File, time.Duration, error)
 	// Remove deletes a file. Removing a missing file is an error.
 	Remove(name string) (time.Duration, error)
+	// Stat reports the file's logical size without opening a handle,
+	// billed as a metadata lookup (the stdfs facade's fs.StatFS and
+	// fs.DirEntry.Info run on it).
+	Stat(name string) (int64, time.Duration, error)
 	// Exists reports whether the file exists.
 	Exists(name string) bool
 	// Names returns the sorted names of all files.
@@ -74,10 +78,14 @@ type File interface {
 	Name() string
 }
 
-// Common errors.
+// Common errors. Both wrap the standard library's filesystem sentinels,
+// so errors.Is(err, fs.ErrNotExist) / errors.Is(err, fs.ErrClosed) hold
+// for every error a store returns — stdlib-facing consumers (the stdfs
+// facade, http.FileServer, fs.WalkDir) classify fsim failures without
+// knowing about this package.
 var (
-	ErrNotExist = errors.New("fsim: file does not exist")
-	ErrClosed   = errors.New("fsim: file already closed")
+	ErrNotExist = fmt.Errorf("fsim: %w", fs.ErrNotExist)
+	ErrClosed   = fmt.Errorf("fsim: %w", fs.ErrClosed)
 )
 
 // Config tunes the simulated store's software-path costs. The defaults
@@ -387,6 +395,11 @@ func (s *FileStore) Open(name string) (File, time.Duration, error) {
 // Remove deletes name on the default lane, dropping its directory entry.
 func (s *FileStore) Remove(name string) (time.Duration, error) {
 	return s.def.Remove(name)
+}
+
+// Stat reports name's logical size on the default lane.
+func (s *FileStore) Stat(name string) (int64, time.Duration, error) {
+	return s.def.Stat(name)
 }
 
 // Exists reports whether name exists.

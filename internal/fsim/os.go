@@ -2,6 +2,7 @@ package fsim
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,7 +56,7 @@ func (s *OSStore) Open(name string) (File, time.Duration, error) {
 	elapsed := s.clk.Now().Sub(start)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, elapsed, fmt.Errorf("%w: %s", ErrNotExist, name)
+			return nil, elapsed, &fs.PathError{Op: "open", Path: name, Err: ErrNotExist}
 		}
 		return nil, elapsed, err
 	}
@@ -72,9 +73,27 @@ func (s *OSStore) Remove(name string) (time.Duration, error) {
 	err = os.Remove(p)
 	elapsed := s.clk.Now().Sub(start)
 	if os.IsNotExist(err) {
-		return elapsed, fmt.Errorf("%w: %s", ErrNotExist, name)
+		return elapsed, &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
 	}
 	return elapsed, err
+}
+
+// Stat reports the named file's size, timed with the real clock.
+func (s *OSStore) Stat(name string) (int64, time.Duration, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := s.clk.Now()
+	info, err := os.Stat(p)
+	elapsed := s.clk.Now().Sub(start)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, elapsed, &fs.PathError{Op: "stat", Path: name, Err: ErrNotExist}
+		}
+		return 0, elapsed, err
+	}
+	return info.Size(), elapsed, nil
 }
 
 // Exists reports whether the named file exists.

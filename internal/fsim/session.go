@@ -3,6 +3,7 @@ package fsim
 import (
 	"fmt"
 	"io"
+	"io/fs"
 	"time"
 
 	"repro/internal/buffercache"
@@ -133,7 +134,7 @@ func (sess *Session) Create(name string, data []byte) (time.Duration, error) {
 // size, timed on this lane.
 func (sess *Session) CreateSized(name string, size int64) (time.Duration, error) {
 	if size < 0 {
-		return 0, fmt.Errorf("fsim: negative size %d", size)
+		return 0, &fs.PathError{Op: "create", Path: name, Err: fmt.Errorf("fsim: negative size %d", size)}
 	}
 	s := sess.store
 	now := sess.clk.Now()
@@ -149,7 +150,7 @@ func (sess *Session) Open(name string) (File, time.Duration, error) {
 	s := sess.store
 	meta, ok := s.lookup(name)
 	if !ok {
-		return nil, 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		return nil, 0, &fs.PathError{Op: "open", Path: name, Err: ErrNotExist}
 	}
 	now := sess.clk.Now()
 	done := now.Add(s.cfg.OpenCost)
@@ -172,7 +173,7 @@ func (sess *Session) Open(name string) (File, time.Duration, error) {
 func (sess *Session) Remove(name string) (time.Duration, error) {
 	s := sess.store
 	if _, ok := s.files.LoadAndDelete(name); !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		return 0, &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
 	}
 	now := sess.clk.Now()
 	// Dropping the directory entry costs like a create; the extent's
@@ -180,6 +181,21 @@ func (sess *Session) Remove(name string) (time.Duration, error) {
 	done := now.Add(s.cfg.CreateCost)
 	sess.clk.Set(done)
 	return done.Sub(now), nil
+}
+
+// Stat reports name's logical size, billed on this lane like an Open —
+// the same directory probe, without the handle or the background
+// warm-up.
+func (sess *Session) Stat(name string) (int64, time.Duration, error) {
+	s := sess.store
+	meta, ok := s.lookup(name)
+	if !ok {
+		return 0, 0, &fs.PathError{Op: "stat", Path: name, Err: ErrNotExist}
+	}
+	now := sess.clk.Now()
+	done := now.Add(s.cfg.OpenCost)
+	sess.clk.Set(done)
+	return meta.length(), done.Sub(now), nil
 }
 
 // Exists reports whether name exists (untimed, like a stat cache hit).
@@ -309,10 +325,10 @@ func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error)
 	case io.SeekEnd:
 		target = length + offset
 	default:
-		return f.pos, 0, fmt.Errorf("fsim: invalid whence %d", whence)
+		return f.pos, 0, &fs.PathError{Op: "seek", Path: f.meta.name, Err: fmt.Errorf("fsim: invalid whence %d", whence)}
 	}
 	if target < 0 {
-		return f.pos, 0, fmt.Errorf("fsim: negative seek position %d", target)
+		return f.pos, 0, &fs.PathError{Op: "seek", Path: f.meta.name, Err: fmt.Errorf("fsim: negative seek position %d", target)}
 	}
 	cost := f.store.cfg.SeekCost
 	if target < length && !f.store.cache.Resident(f.meta.base+target) {

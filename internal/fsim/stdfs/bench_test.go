@@ -1,0 +1,84 @@
+package stdfs
+
+import (
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"repro/internal/fsim"
+)
+
+// benchCatalog builds the facade-overhead catalog: 32 files of 4 KB
+// across nested directories, pre-warmed so the walks measure the
+// engine's warm path plus facade overhead, not cold misses.
+func benchCatalog(b *testing.B) *fsim.FileStore {
+	b.Helper()
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(store.Close)
+	payload := make([]byte, 4<<10)
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("d%d/f%d.bin", i%4, i)
+		if _, err := store.Create(name, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+// BenchmarkStdFSWalkDir is the facade-overhead row: fs.WalkDir over the
+// facade, opening and fully reading every file through the standard
+// interfaces. Compare with BenchmarkNativeOpenRead below — the delta is
+// what the io/fs layer costs on top of the native session path.
+func BenchmarkStdFSWalkDir(b *testing.B) {
+	store := benchCatalog(b)
+	fsys := New(store)
+	buf := make([]byte, 4<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			f, err := fsys.Open(p)
+			if err != nil {
+				return err
+			}
+			if _, err := f.Read(buf); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeOpenRead reads the same catalog through the native
+// Session.Open+Read path: the baseline the facade row is compared to.
+func BenchmarkNativeOpenRead(b *testing.B) {
+	store := benchCatalog(b)
+	names := store.Names()
+	buf := make([]byte, 4<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			f, _, err := store.Open(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := f.Read(buf); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

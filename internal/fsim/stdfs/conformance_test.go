@@ -1,0 +1,92 @@
+package stdfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/fsim"
+)
+
+// buildCatalog provisions the conformance catalog on a fresh store:
+// nested prefixes several levels deep, empty files, dense payload files,
+// and sparse CreateSized files (reads return zeros). It returns the
+// store and the expected file list for fstest.TestFS.
+func buildCatalog(t *testing.T, cfg fsim.Config) (*fsim.FileStore, []string) {
+	t.Helper()
+	store, err := fsim.NewFileStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	var names []string
+	create := func(name string, data []byte) {
+		if _, err := store.Create(name, data); err != nil {
+			t.Fatalf("Create(%q): %v", name, err)
+		}
+		names = append(names, name)
+	}
+	create("top.txt", []byte("top-level file\n"))
+	create("empty", nil)
+	create("docs/readme.md", []byte("# readme\n"))
+	create("docs/guide/intro.md", []byte("intro"))
+	create("docs/guide/deep/leaf.txt", []byte("leaf contents"))
+	create("docs.archive", []byte("sorts between docs and docs/ entries"))
+	create("logs/2005/ipps.log", []byte("QinXNT05"))
+	for i := 0; i < 4; i++ {
+		create(fmt.Sprintf("bulk/file-%d.bin", i), []byte(fmt.Sprintf("payload %d", i)))
+	}
+	// Sparse files: metadata-only contents, reads are zero-filled.
+	if _, err := store.CreateSized("sparse/sample.dat", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "sparse/sample.dat")
+	if _, err := store.CreateSized("sparse/zero.dat", 0); err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "sparse/zero.dat")
+	return store, names
+}
+
+// TestConformance runs the standard library's filesystem conformance
+// suite against the facade over the generated catalog — the same suite
+// os.DirFS and fstest.MapFS pass.
+func TestConformance(t *testing.T) {
+	store, names := buildCatalog(t, fsim.DefaultConfig())
+	if err := fstest.TestFS(New(store), names...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConformanceConcurrentSessions runs the conformance suite from
+// several goroutines at once, each over its own session lane of one
+// shared sharded store — the race-exercised configuration CI's -race
+// run covers. Costs land on each worker's own ledger and lane.
+func TestConformanceConcurrentSessions(t *testing.T) {
+	store, names := buildCatalog(t, fsim.ShardedConfig())
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	costs := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := store.NewSession()
+			defer sess.Release()
+			fsys := New(sess)
+			errs[w] = fstest.TestFS(fsys, names...)
+			costs[w] = int64(fsys.Cost())
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", w, err)
+		}
+		if costs[w] <= 0 {
+			t.Errorf("worker %d: facade ledger %d, want > 0", w, costs[w])
+		}
+	}
+}

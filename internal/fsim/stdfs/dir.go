@@ -1,0 +1,63 @@
+package stdfs
+
+import (
+	"io"
+	"io/fs"
+	"path"
+	"time"
+)
+
+// Dir is an open handle on a synthesized directory: a snapshot of the
+// prefix listing taken at open, served through the fs.ReadDirFile
+// pagination contract. Directory operations run on the namespace only
+// (fsim's untimed metadata views), so they bill nothing.
+type Dir struct {
+	fsys    *FS
+	name    string
+	entries []fs.DirEntry
+	off     int
+	cost    time.Duration
+	closed  bool
+}
+
+var _ fs.ReadDirFile = (*Dir)(nil)
+
+// Stat reports the directory's synthesized metadata.
+func (d *Dir) Stat() (fs.FileInfo, error) {
+	return fileInfo{name: path.Base(d.name), mode: dirMode}, nil
+}
+
+// Read fails: directories hold entries, not bytes.
+func (d *Dir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.name, Err: errIsDir}
+}
+
+// Close releases the handle.
+func (d *Dir) Close() error {
+	if d.closed {
+		return &fs.PathError{Op: "close", Path: d.name, Err: fs.ErrClosed}
+	}
+	d.closed = true
+	return nil
+}
+
+// ReadDir returns the next n entries of the open-time snapshot (all
+// remaining when n <= 0), with io.EOF at the end per fs.ReadDirFile.
+func (d *Dir) ReadDir(n int) ([]fs.DirEntry, error) {
+	if d.closed {
+		return nil, &fs.PathError{Op: "readdir", Path: d.name, Err: fs.ErrClosed}
+	}
+	rest := d.entries[d.off:]
+	if n <= 0 {
+		d.off = len(d.entries)
+		return append([]fs.DirEntry(nil), rest...), nil
+	}
+	if len(rest) == 0 {
+		return nil, io.EOF
+	}
+	if n > len(rest) {
+		n = len(rest)
+	}
+	d.off += n
+	return append([]fs.DirEntry(nil), rest[:n]...), nil
+}

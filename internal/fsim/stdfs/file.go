@@ -1,0 +1,133 @@
+package stdfs
+
+import (
+	"io"
+	"io/fs"
+	"path"
+	"time"
+
+	"repro/internal/fsim"
+)
+
+// File is an open facade handle over a fsim.File. Beyond fs.File it
+// implements io.Reader, io.Writer, io.Seeker, and io.ReaderAt, wrapping
+// the store's timed operations; every simulated duration is billed to
+// the facade ledger and to this handle's own (see Cost). Like the
+// underlying fsim.File, a File must not be shared across goroutines —
+// which is also why ReadAt may legally reposition and restore the
+// handle's offset.
+type File struct {
+	fsys  *FS
+	inner fsim.File
+	name  string // full facade path; inner.Name() may differ for wrappers
+	cost  time.Duration
+}
+
+var (
+	_ fs.File     = (*File)(nil)
+	_ io.Writer   = (*File)(nil)
+	_ io.Seeker   = (*File)(nil)
+	_ io.ReaderAt = (*File)(nil)
+)
+
+// Cost returns the simulated time billed to this handle so far: the
+// open, every read/write/seek, and the close once it happens.
+func (f *File) Cost() time.Duration { return f.cost }
+
+// bill charges a simulated duration to both ledgers.
+func (f *File) bill(d time.Duration) {
+	f.cost += d
+	f.fsys.bill(d)
+}
+
+// Stat reports the file's current metadata.
+func (f *File) Stat() (fs.FileInfo, error) {
+	return fileInfo{name: path.Base(f.name), size: f.inner.Size(), mode: fileMode}, nil
+}
+
+// Read fills p from the current position.
+func (f *File) Read(p []byte) (int, error) {
+	n, d, err := f.inner.Read(p)
+	f.bill(d)
+	if err != nil && err != io.EOF {
+		err = pathError("read", f.name, err)
+	}
+	return n, err
+}
+
+// Write stores p at the current position, growing the file as needed.
+func (f *File) Write(p []byte) (int, error) {
+	n, d, err := f.inner.Write(p)
+	f.bill(d)
+	if err != nil {
+		err = pathError("write", f.name, err)
+	}
+	return n, err
+}
+
+// Seek repositions the handle like os.File.Seek.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	pos, d, err := f.inner.SeekTo(offset, whence)
+	f.bill(d)
+	if err != nil {
+		err = pathError("seek", f.name, err)
+	}
+	return pos, err
+}
+
+// ReadAt reads len(p) bytes at offset off without (observably) moving
+// the handle position: it seeks to off, reads, and seeks back, billing
+// all three like the explicit sequence it is. Fewer than len(p) bytes
+// returns io.EOF, per the io.ReaderAt contract.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, &fs.PathError{Op: "readat", Path: f.name, Err: fs.ErrInvalid}
+	}
+	cur, d, err := f.inner.SeekTo(0, io.SeekCurrent)
+	f.bill(d)
+	if err != nil {
+		return 0, pathError("readat", f.name, err)
+	}
+	if _, d, err := f.inner.SeekTo(off, io.SeekStart); err != nil {
+		f.bill(d)
+		return 0, pathError("readat", f.name, err)
+	} else {
+		f.bill(d)
+	}
+	n := 0
+	var readErr error
+	for n < len(p) {
+		m, d, err := f.inner.Read(p[n:])
+		f.bill(d)
+		n += m
+		if err != nil {
+			if err != io.EOF {
+				err = pathError("readat", f.name, err)
+			}
+			readErr = err
+			break
+		}
+	}
+	if _, d, err := f.inner.SeekTo(cur, io.SeekStart); err != nil {
+		f.bill(d)
+		if readErr == nil || readErr == io.EOF {
+			readErr = pathError("readat", f.name, err)
+		}
+	} else {
+		f.bill(d)
+	}
+	if n == len(p) && readErr == io.EOF {
+		readErr = nil
+	}
+	return n, readErr
+}
+
+// Close releases the handle, flushing like the store's native close.
+func (f *File) Close() error {
+	d, err := f.inner.Close()
+	f.bill(d)
+	if err != nil {
+		return pathError("close", f.name, err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package stdfs
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/fsim"
+)
+
+// oracleTree is the file set the oracle builds in every backend.
+var oracleTree = map[string][]byte{
+	"index.html":          []byte("<html>fsim</html>\n"),
+	"empty.dat":           {},
+	"assets/css/site.css": []byte("body { margin: 0 }\n"),
+	"assets/logo.svg":     []byte("<svg/>"),
+	"papers/ipps/qin.txt": []byte("A performance study of software managed I/O\n"),
+	"papers/notes.md":     []byte("## notes\nreplay, cache, disk\n"),
+}
+
+// observe runs the shared fs-consuming program: WalkDir the whole tree
+// recording every path, type, and (for files) Stat size and contents via
+// fs.ReadFile, then streams the files into a deterministic tar archive
+// (fixed mode and zero time, so only names, sizes, and bytes differ).
+// The returned transcript is the filesystem's observable behavior; two
+// backends behave identically iff their transcripts are byte-equal.
+func observe(fsys fs.FS) (string, []byte, error) {
+	var log bytes.Buffer
+	var archive bytes.Buffer
+	tw := tar.NewWriter(&archive)
+	err := fs.WalkDir(fsys, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			fmt.Fprintf(&log, "dir  %s\n", p)
+			return nil
+		}
+		info, err := fs.Stat(fsys, p)
+		if err != nil {
+			return err
+		}
+		data, err := fs.ReadFile(fsys, p)
+		if err != nil {
+			return err
+		}
+		if int64(len(data)) != info.Size() {
+			return fmt.Errorf("%s: ReadFile %d bytes, Stat says %d", p, len(data), info.Size())
+		}
+		fmt.Fprintf(&log, "file %s size=%d\n", p, info.Size())
+		if err := tw.WriteHeader(&tar.Header{Name: p, Size: info.Size(), Mode: 0o644}); err != nil {
+			return err
+		}
+		if _, err := tw.Write(data); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := tw.Close(); err != nil {
+		return "", nil, err
+	}
+	// Partial-read behavior: open the largest file, read three bytes,
+	// seek to the middle, read the rest — identical across backends.
+	f, err := fsys.Open("papers/ipps/qin.txt")
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	head := make([]byte, 3)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return "", nil, err
+	}
+	fmt.Fprintf(&log, "head %q\n", head)
+	if s, ok := f.(io.Seeker); ok {
+		if _, err := s.Seek(20, io.SeekStart); err != nil {
+			return "", nil, err
+		}
+		rest, err := io.ReadAll(f)
+		if err != nil {
+			return "", nil, err
+		}
+		fmt.Fprintf(&log, "rest %q\n", rest)
+	}
+	return log.String(), archive.Bytes(), nil
+}
+
+// TestOracle diffs the facade against the two stdlib reference
+// filesystems: whatever a real fs.FS-consuming program observes over
+// os.DirFS and fstest.MapFS, it must observe over the simulator too.
+func TestOracle(t *testing.T) {
+	// Backend 1: the host filesystem.
+	dir := t.TempDir()
+	for name, data := range oracleTree {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backend 2: the in-memory reference implementation.
+	mapFS := fstest.MapFS{}
+	for name, data := range oracleTree {
+		mapFS[name] = &fstest.MapFile{Data: data}
+	}
+	// Backend 3: the simulated store behind the facade.
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for name, data := range oracleTree {
+		if _, err := store.Create(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsimFS := New(store)
+
+	wantLog, wantTar, err := observe(os.DirFS(dir))
+	if err != nil {
+		t.Fatalf("os.DirFS oracle: %v", err)
+	}
+	for _, bk := range []struct {
+		name string
+		fsys fs.FS
+	}{{"fstest.MapFS", mapFS}, {"fsim/stdfs", fsimFS}} {
+		log, archive, err := observe(bk.fsys)
+		if err != nil {
+			t.Fatalf("%s: %v", bk.name, err)
+		}
+		if log != wantLog {
+			t.Errorf("%s transcript diverges from os.DirFS:\n--- os.DirFS\n%s--- %s\n%s", bk.name, wantLog, bk.name, log)
+		}
+		if !bytes.Equal(archive, wantTar) {
+			t.Errorf("%s tar archive diverges from os.DirFS (%d vs %d bytes)", bk.name, len(archive), len(wantTar))
+		}
+	}
+	if fsimFS.Cost() <= 0 {
+		t.Error("facade ledger empty after the oracle run: simulated costs were lost")
+	}
+}

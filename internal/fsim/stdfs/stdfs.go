@@ -1,0 +1,306 @@
+// Package stdfs adapts a fsim store to Go's standard filesystem
+// interfaces: FS implements fs.FS, fs.ReadDirFS, fs.StatFS, and
+// fs.ReadFileFS over any fsim.Store (a *fsim.FileStore, a per-worker
+// *fsim.Session, an OSStore, or any wrapper), and the handles it opens
+// satisfy fs.File plus io.Reader, io.Writer, io.Seeker, and io.ReaderAt.
+// Real Go code — http.FileServer, fs.WalkDir, archive/tar,
+// testing/fstest — then runs against the simulator unmodified, which
+// multiplies scenario diversity and gives an independent correctness
+// oracle (the same program over os.DirFS or fstest.MapFS must observe
+// the same behavior).
+//
+// Timing is not lost behind the standard signatures: every operation is
+// still billed to the wrapped store — and so to the opening session's
+// clock.Timeline lane — and the simulated durations accumulate in two
+// out-of-band ledgers. FS.Cost sums everything billed through the
+// facade; Cost(f) reports one handle's share (its open plus every
+// read/write/seek/close so far). Wrap a *fsim.Session per worker and the
+// facade inherits the session contract: max-over-lanes aggregate time,
+// release-folds-into-the-floor, private disk-timing views.
+//
+// Directory semantics follow the prefix-listing approach over fsim's
+// flat extent namespace: file names are /-separated fs.ValidPath paths,
+// a directory exists exactly when some file lives under its prefix, and
+// ReadDir synthesizes fs.DirEntry values in deterministic sorted order
+// from the store's sorted Names(). Store names that are not valid fs
+// paths are invisible through the facade (still reachable through the
+// native API).
+//
+// Like fsim.Session and fsim.File, an FS over a session and the handles
+// it opens must not be shared across goroutines; FS values over
+// different sessions of one store may run fully in parallel.
+package stdfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsim"
+)
+
+// errIsDir marks directory misuse (reading a directory as a file).
+var errIsDir = errors.New("is a directory")
+
+// errNotDir marks ReadDir on a plain file.
+var errNotDir = errors.New("not a directory")
+
+// FS is the standard-library facade over a fsim store. The zero value is
+// not usable; construct with New.
+type FS struct {
+	store fsim.Store
+	// cost accumulates every simulated duration billed through this
+	// facade, in nanoseconds. Atomic so a store shared by goroutines
+	// (each via its own FS, or an OSStore) keeps an exact total.
+	cost atomic.Int64
+}
+
+// Compile-time checks: the facade speaks the extended stdlib interfaces.
+var (
+	_ fs.FS         = (*FS)(nil)
+	_ fs.ReadDirFS  = (*FS)(nil)
+	_ fs.StatFS     = (*FS)(nil)
+	_ fs.ReadFileFS = (*FS)(nil)
+)
+
+// New wraps store. For per-lane billing hand it a *fsim.Session; for the
+// store's default lane hand it the *fsim.FileStore itself.
+func New(store fsim.Store) *FS {
+	return &FS{store: store}
+}
+
+// Cost returns the total simulated time billed through this facade so
+// far: opens, reads, writes, seeks, closes, stats — everything the
+// standard signatures cannot return inline.
+func (fsys *FS) Cost() time.Duration { return time.Duration(fsys.cost.Load()) }
+
+// bill adds a simulated duration to the facade ledger.
+func (fsys *FS) bill(d time.Duration) {
+	if d != 0 {
+		fsys.cost.Add(int64(d))
+	}
+}
+
+// Cost reports the simulated time billed to a handle this package
+// opened — the open itself plus every operation since, including close.
+// It returns false for handles from other filesystems.
+func Cost(f fs.File) (time.Duration, bool) {
+	switch h := f.(type) {
+	case *File:
+		return h.Cost(), true
+	case *Dir:
+		return h.cost, true
+	}
+	return 0, false
+}
+
+// Open opens the named file or synthesized directory.
+func (fsys *FS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name != "." {
+		inner, d, err := fsys.store.Open(name)
+		fsys.bill(d)
+		if err == nil {
+			return &File{fsys: fsys, inner: inner, name: name, cost: d}, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, pathError("open", name, err)
+		}
+	}
+	entries, ok := fsys.listDir(name)
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &Dir{fsys: fsys, name: name, entries: entries}, nil
+}
+
+// ReadDir lists the named directory in sorted order.
+func (fsys *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+	}
+	entries, ok := fsys.listDir(name)
+	if !ok {
+		err := fs.ErrNotExist
+		if fsys.store.Exists(name) {
+			err = errNotDir
+		}
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return entries, nil
+}
+
+// Stat reports on the named file or directory. File stats go through the
+// store (billed as a metadata lookup); directory stats are synthesized.
+func (fsys *FS) Stat(name string) (fs.FileInfo, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrInvalid}
+	}
+	if name != "." {
+		size, d, err := fsys.store.Stat(name)
+		fsys.bill(d)
+		if err == nil {
+			return fileInfo{name: path.Base(name), size: size, mode: fileMode}, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, pathError("stat", name, err)
+		}
+		if !fsys.dirExists(name) {
+			return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+		}
+	}
+	return fileInfo{name: path.Base(name), mode: dirMode}, nil
+}
+
+// ReadFile returns the named file's full contents, sized up front from
+// the store's metadata so the common case is one allocation.
+func (fsys *FS) ReadFile(name string) ([]byte, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	inner, d, err := fsys.store.Open(name)
+	fsys.bill(d)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) && (name == "." || fsys.dirExists(name)) {
+			return nil, &fs.PathError{Op: "read", Path: name, Err: errIsDir}
+		}
+		return nil, pathError("open", name, err)
+	}
+	buf := make([]byte, 0, inner.Size()+1)
+	for {
+		if len(buf) == cap(buf) {
+			// The file grew past the provisioned size mid-read: extend.
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, d, err := inner.Read(buf[len(buf):cap(buf)])
+		fsys.bill(d)
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cd, _ := inner.Close()
+			fsys.bill(cd)
+			return nil, pathError("read", name, err)
+		}
+	}
+	cd, err := inner.Close()
+	fsys.bill(cd)
+	if err != nil {
+		return nil, pathError("close", name, err)
+	}
+	return buf, nil
+}
+
+// dirExists reports whether any valid-path file lives under name/.
+func (fsys *FS) dirExists(name string) bool {
+	prefix := name + "/"
+	for _, n := range fsys.store.Names() {
+		if strings.HasPrefix(n, prefix) && fs.ValidPath(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// listDir synthesizes the sorted entries of directory name from the
+// store's flat namespace: immediate file children, plus one directory
+// entry per distinct next path component. ok is false when the directory
+// does not exist (no file under its prefix, and not the root).
+func (fsys *FS) listDir(name string) ([]fs.DirEntry, bool) {
+	prefix := ""
+	if name != "." {
+		prefix = name + "/"
+	}
+	var files []string
+	dirs := make(map[string]bool)
+	for _, n := range fsys.store.Names() {
+		if !strings.HasPrefix(n, prefix) || !fs.ValidPath(n) {
+			continue
+		}
+		rest := n[len(prefix):]
+		if rest == "" {
+			continue // a file named exactly like the directory; Open sees the file
+		}
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			dirs[rest[:i]] = true
+		} else {
+			files = append(files, rest)
+		}
+	}
+	if name != "." && len(files) == 0 && len(dirs) == 0 {
+		return nil, false
+	}
+	entries := make([]fs.DirEntry, 0, len(files)+len(dirs))
+	for _, f := range files {
+		entries = append(entries, dirEntry{fsys: fsys, parent: name, base: f, mode: fileMode})
+	}
+	for d := range dirs {
+		entries = append(entries, dirEntry{fsys: fsys, parent: name, base: d, mode: dirMode})
+	}
+	// Names() is sorted, but lexicographic order over full paths is not
+	// entry order ("x.y" < "x/z" while entry "x" < "x.y"): sort by base.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	return entries, true
+}
+
+// pathError wraps err with op and path unless it already is a
+// *fs.PathError for that path (the fsim stores return those natively).
+func pathError(op, name string, err error) error {
+	var pe *fs.PathError
+	if errors.As(err, &pe) && pe.Path == name {
+		return err
+	}
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// Synthesized modes: regular files read-write, directories listable.
+const (
+	fileMode = fs.FileMode(0o644)
+	dirMode  = fs.ModeDir | 0o755
+)
+
+// fileInfo is the synthesized fs.FileInfo for facade files and
+// directories. The simulated store has no modification times; ModTime is
+// the zero time, deterministically.
+type fileInfo struct {
+	name string
+	size int64
+	mode fs.FileMode
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return fi.mode }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.mode.IsDir() }
+func (fi fileInfo) Sys() any           { return nil }
+
+// dirEntry is a synthesized directory listing entry. File sizes are
+// looked up lazily on Info, billed like any stat.
+type dirEntry struct {
+	fsys   *FS
+	parent string
+	base   string
+	mode   fs.FileMode
+}
+
+var _ fs.DirEntry = dirEntry{}
+
+func (e dirEntry) Name() string      { return e.base }
+func (e dirEntry) IsDir() bool       { return e.mode.IsDir() }
+func (e dirEntry) Type() fs.FileMode { return e.mode.Type() }
+
+func (e dirEntry) Info() (fs.FileInfo, error) {
+	if e.IsDir() {
+		return fileInfo{name: e.base, mode: dirMode}, nil
+	}
+	return e.fsys.Stat(path.Join(e.parent, e.base))
+}

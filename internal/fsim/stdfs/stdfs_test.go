@@ -1,0 +1,220 @@
+package stdfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+
+	"repro/internal/fsim"
+)
+
+func newStore(t *testing.T) *fsim.FileStore {
+	t.Helper()
+	store, err := fsim.NewFileStore(fsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	return store
+}
+
+func TestCostLedgers(t *testing.T) {
+	store := newStore(t)
+	if _, err := store.Create("dir/a.txt", []byte("hello ledger")); err != nil {
+		t.Fatal(err)
+	}
+	fsys := New(store)
+	f, err := fsys.Open("dir/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	openCost := fsys.Cost()
+	if openCost <= 0 {
+		t.Fatalf("facade cost after open = %v, want > 0", openCost)
+	}
+	if hc, ok := Cost(f); !ok || hc != openCost {
+		t.Fatalf("handle cost after open = %v ok=%v, want %v", hc, ok, openCost)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	afterRead := fsys.Cost()
+	if afterRead <= openCost {
+		t.Fatalf("facade cost after read = %v, want > %v", afterRead, openCost)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hc, _ := Cost(f); hc != fsys.Cost() {
+		t.Fatalf("handle cost %v != facade cost %v (single handle)", hc, fsys.Cost())
+	}
+	// The same simulated time must have advanced the store's lane: the
+	// facade bills, it does not invent a clock.
+	if el := store.Timeline().Elapsed(); el < fsys.Cost() {
+		t.Fatalf("timeline elapsed %v < facade cost %v", el, fsys.Cost())
+	}
+}
+
+func TestSessionLaneBilling(t *testing.T) {
+	store := newStore(t)
+	if _, err := store.Create("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	sess := store.NewSession()
+	defer sess.Release()
+	before := sess.Elapsed()
+	fsys := New(sess)
+	data, err := fsys.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("ReadFile = %q", data)
+	}
+	if got := sess.Elapsed() - before; got != fsys.Cost() {
+		t.Fatalf("session lane advanced %v, facade ledger %v — costs must bill to the opening session's lane", got, fsys.Cost())
+	}
+}
+
+func TestWriteThroughFacade(t *testing.T) {
+	store := newStore(t)
+	if _, err := store.Create("w.txt", []byte("xxxxxx")); err != nil {
+		t.Fatal(err)
+	}
+	fsys := New(store)
+	f, err := fsys.Open("w.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.(*File)
+	if _, err := h.Seek(2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.Write([]byte("YZ")); n != 2 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile("w.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "xxYZxx" {
+		t.Fatalf("after write-through: %q, want %q", data, "xxYZxx")
+	}
+}
+
+func TestReadAtPreservesPosition(t *testing.T) {
+	store := newStore(t)
+	if _, err := store.Create("r.bin", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	fsys := New(store)
+	f, err := fsys.Open("r.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := f.(*File)
+	first := make([]byte, 3)
+	if _, err := io.ReadFull(h, first); err != nil {
+		t.Fatal(err)
+	}
+	at := make([]byte, 4)
+	if n, err := h.ReadAt(at, 5); n != 4 || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if string(at) != "5678" {
+		t.Fatalf("ReadAt data = %q", at)
+	}
+	rest := make([]byte, 7)
+	if n, err := h.Read(rest); n != 7 || (err != nil && err != io.EOF) {
+		t.Fatalf("Read after ReadAt = %d, %v", n, err)
+	}
+	if string(rest) != "3456789" {
+		t.Fatalf("position disturbed by ReadAt: next read %q, want %q", rest, "3456789")
+	}
+	// Short ReadAt at the tail reports io.EOF per the contract.
+	if n, err := h.ReadAt(at, 8); n != 2 || err != io.EOF {
+		t.Fatalf("tail ReadAt = %d, %v, want 2, io.EOF", n, err)
+	}
+}
+
+func TestStandardErrors(t *testing.T) {
+	store := newStore(t)
+	if _, err := store.Create("real/file", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fsys := New(store)
+
+	var pe *fs.PathError
+	if _, err := fsys.Open("missing"); !errors.Is(err, fs.ErrNotExist) || !errors.As(err, &pe) || pe.Path != "missing" {
+		t.Fatalf("Open(missing) = %v, want *fs.PathError wrapping fs.ErrNotExist", err)
+	}
+	if _, err := fsys.Open("../escape"); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("Open(../escape) = %v, want fs.ErrInvalid", err)
+	}
+	if _, err := fsys.ReadDir("real/file"); err == nil {
+		t.Fatal("ReadDir on a plain file succeeded")
+	}
+	if _, err := fsys.ReadFile("real"); !errors.As(err, &pe) || !errors.Is(pe.Err, errIsDir) {
+		t.Fatalf("ReadFile(dir) = %v, want is-a-directory PathError", err)
+	}
+	// Native store errors also satisfy the stdlib sentinels now.
+	if _, _, err := store.Open("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("store.Open(missing) = %v, want errors.Is fs.ErrNotExist", err)
+	}
+	if _, err := store.Remove("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("store.Remove(missing) = %v, want errors.Is fs.ErrNotExist", err)
+	}
+	f, _, err := store.Open("real/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Close(); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("double close = %v, want errors.Is fs.ErrClosed", err)
+	}
+}
+
+func TestDirHandlePagination(t *testing.T) {
+	store := newStore(t)
+	for _, name := range []string{"d/a", "d/b", "d/c"} {
+		if _, err := store.Create(name, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys := New(store)
+	f, err := fsys.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := f.(*Dir)
+	got := []string{}
+	for {
+		ents, err := dir.ReadDir(2)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			got = append(got, e.Name())
+		}
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("paginated entries = %v", got)
+	}
+	if err := dir.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.ReadDir(-1); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("ReadDir after close = %v, want fs.ErrClosed", err)
+	}
+}

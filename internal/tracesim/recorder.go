@@ -94,6 +94,12 @@ func (s *RecordingStore) Remove(name string) (time.Duration, error) {
 	return dur, err
 }
 
+// Stat passes through unrecorded: the UMDT trace format has no stat
+// operation (§3.2), so metadata probes stay invisible to replay.
+func (s *RecordingStore) Stat(name string) (int64, time.Duration, error) {
+	return s.inner.Stat(name)
+}
+
 // Exists passes through.
 func (s *RecordingStore) Exists(name string) bool { return s.inner.Exists(name) }
 

@@ -1,0 +1,82 @@
+package webserver
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/fsim"
+	"repro/internal/fsim/stdfs"
+)
+
+// HTTPFS is the standard-library serving mode: the store's catalog
+// exposed through http.FileServer(http.FS(...)) over the stdfs facade,
+// so a stock net/http stack — directory indexes, Range requests,
+// HEAD, conditional gets — drives the simulator unmodified. It is the
+// counterpart to the paper-shaped Server: same store, same
+// RequestRecord stream, but the client side is any HTTP client in
+// existence rather than the bespoke §4.1 protocol.
+//
+// Every request runs on its own session lane (fsim.NewSession), so
+// concurrent requests advance simulated time in parallel and their I/O
+// is timed against private disk views; the lane folds into the store's
+// timeline floor on release. The facade's cost ledger for the request
+// becomes the record's IOTime — the same quantity the native server
+// measures around its stream calls.
+type HTTPFS struct {
+	store *fsim.FileStore
+
+	mu      sync.Mutex
+	records []RequestRecord
+}
+
+var _ http.Handler = (*HTTPFS)(nil)
+
+// NewHTTPFS wraps store for standard HTTP serving.
+func NewHTTPFS(store *fsim.FileStore) *HTTPFS {
+	return &HTTPFS{store: store}
+}
+
+// ServeHTTP serves one request from a fresh session lane and records
+// its simulated I/O cost.
+func (h *HTTPFS) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sess := h.store.NewSession()
+	defer sess.Release()
+	fsys := stdfs.New(sess)
+	cw := &countingResponseWriter{ResponseWriter: w}
+	http.FileServer(http.FS(fsys)).ServeHTTP(cw, r)
+	name := strings.Trim(r.URL.Path, "/")
+	if name == "" {
+		name = "."
+	}
+	h.mu.Lock()
+	h.records = append(h.records, RequestRecord{
+		Kind:   KindGet,
+		File:   name,
+		Size:   cw.n,
+		IOTime: fsys.Cost(),
+	})
+	h.mu.Unlock()
+}
+
+// Records returns a copy of the per-request measurements in completion
+// order.
+func (h *HTTPFS) Records() []RequestRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]RequestRecord, len(h.records))
+	copy(out, h.records)
+	return out
+}
+
+// countingResponseWriter counts body bytes for the request record.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
+}
