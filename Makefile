@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-cold bench-json stdfs-smoke fmt vet fmt-check ci
+.PHONY: all build test race bench bench-cold bench-contention bench-json stdfs-smoke fmt vet fmt-check ci
 
 all: build
 
@@ -34,17 +34,26 @@ bench-cold:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheMissEvict' -benchtime=1x ./internal/buffercache
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/simdisk
 
+# Contention smoke: the partitioned replay through the shared disk
+# queue at 1, 4, and 8 lanes. One lane must serve inline (the private
+# model nested exactly); 4 and 8 lanes exercise the event-merged
+# dispatch gate end to end from the command line.
+bench-contention:
+	$(GO) run ./cmd/tracebench -app Parallel -workers 1 -concurrent -shards 8 -disk-queue shared -sched sstf
+	$(GO) run ./cmd/tracebench -app Parallel -workers 4 -concurrent -shards 8 -disk-queue shared -sched sstf
+	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf
+
 # Machine-readable bench trajectory: the hot-path microbenchmarks
 # (including the engine-only miss/evict row), the shard/worker scaling,
-# and the write-back ablation of the simulated-parallel replay. CI
-# uploads the file as an artifact; the committed copy tracks the
-# trajectory in-repo and doubles as the regression baseline — the run
-# fails if an engine-only guarded row (cache_warm_read_64k or
-# cache_miss_evict) regresses more than 25% against it. A failed run
-# leaves the baseline untouched and writes the regressed report to
-# BENCH_5.json.failed.json.
+# the write-back ablation, and the shared-queue contention rows of the
+# simulated-parallel replay. CI uploads the file as an artifact; the
+# committed copy tracks the trajectory in-repo and doubles as the
+# regression baseline — the run fails if an engine-only guarded row
+# (cache_warm_read_64k or cache_miss_evict) regresses more than 25%
+# against it. A failed run leaves the baseline untouched and writes the
+# regressed report to BENCH_6.json.failed.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_5.json -baseline BENCH_5.json
+	$(GO) run ./cmd/benchjson -out BENCH_6.json -baseline BENCH_6.json
 
 # End-to-end smoke for the io/fs facade: the example runs unmodified
 # stdlib code (fs.WalkDir, fs.ReadFile, archive/tar) against the
@@ -66,4 +75,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test race bench bench-cold stdfs-smoke
+ci: build vet fmt-check test race bench bench-cold bench-contention stdfs-smoke

@@ -1,6 +1,6 @@
 // Benchjson emits the bench trajectory as machine-readable JSON (`make
-// bench-json` writes BENCH_5.json, CI uploads it and fails on hot-path
-// regressions). Three sections:
+// bench-json` writes BENCH_6.json, CI uploads it and fails on hot-path
+// regressions). Four sections:
 //
 //   - hot_path: in-process microbenchmarks of the replay engine's wall
 //     hot paths — warm 64 KB reads (dense and sparse), the single-page
@@ -21,9 +21,15 @@
 //     (flush on close) versus on under each disk scheduling policy.
 //     Batches reach the scheduler in raw dirtying order, so the
 //     policies genuinely differ (FCFS is not a pre-sorted sweep).
+//   - sharedq_contention: the partitioned replay routed through the
+//     shared disk queue (sharedq_l{1,4,8}_{fcfs,sstf,scan} rows):
+//     foreground read latency, total elapsed, and queue stats as lanes
+//     contend one event-merged queue under each policy. The simulated
+//     quantities are deterministic; the rows are new this release and
+//     not yet under the -baseline guard.
 //
 // With -baseline pointing at a previous report (normally the committed
-// BENCH_5.json), the run fails if an engine-only guarded row —
+// BENCH_6.json), the run fails if an engine-only guarded row —
 // cache_warm_read_64k (the warm path) or cache_miss_evict (the cold
 // path) — regressed more than 25%. The guard runs before -out is
 // written, so a failed run leaves the baseline file intact (the
@@ -90,15 +96,33 @@ type ablationRow struct {
 	WritebackHorizonNS int64   `json:"writeback_horizon_ns"`
 }
 
+// contentionRow is one shared-disk-queue replay: n lanes contending one
+// event-merged queue under one scheduling policy, write-back off so the
+// contention is all foreground. Deterministic run to run, like the
+// worker_scaling simulated quantities.
+type contentionRow struct {
+	Name            string  `json:"name"`
+	Lanes           int     `json:"lanes"`
+	Policy          string  `json:"policy"`
+	SimElapsedNS    int64   `json:"sim_elapsed_ns"`
+	ReadMeanMS      float64 `json:"read_mean_ms"`
+	Dispatches      int64   `json:"dispatches"`
+	SyncDispatches  int64   `json:"sync_dispatches"`
+	AsyncDispatches int64   `json:"async_dispatches"`
+	MaxPending      int64   `json:"max_pending"`
+	QueueDelayNS    int64   `json:"queue_delay_ns"`
+}
+
 type report struct {
-	Bench             string        `json:"bench"`
-	GeneratedBy       string        `json:"generated_by"`
-	TraceApp          string        `json:"trace_app"`
-	FileSize          int64         `json:"file_size_bytes"`
-	Requests          int           `json:"requests"`
-	HotPath           []hotPathRow  `json:"hot_path"`
-	WorkerScaling     []scalingRow  `json:"worker_scaling"`
-	WritebackAblation []ablationRow `json:"writeback_ablation"`
+	Bench             string          `json:"bench"`
+	GeneratedBy       string          `json:"generated_by"`
+	TraceApp          string          `json:"trace_app"`
+	FileSize          int64           `json:"file_size_bytes"`
+	Requests          int             `json:"requests"`
+	HotPath           []hotPathRow    `json:"hot_path"`
+	WorkerScaling     []scalingRow    `json:"worker_scaling"`
+	WritebackAblation []ablationRow   `json:"writeback_ablation"`
+	SharedQContention []contentionRow `json:"sharedq_contention,omitempty"`
 }
 
 // warmReadBenchName is the replay engine's dominant end-to-end
@@ -268,7 +292,7 @@ func hotPathBenches() []hotPathRow {
 	return rows
 }
 
-func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, fileSize int64, requests int) (*tracesim.Report, *fsim.FileStore, time.Duration, error) {
+func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, queue fsim.DiskQueueMode, fileSize int64, requests int) (*tracesim.Report, *fsim.FileStore, time.Duration, error) {
 	params := tracegen.Params{
 		SampleFile: "sample.dat", FileSize: fileSize,
 		Requests: requests, Workers: workers,
@@ -281,6 +305,7 @@ func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, fileSize
 	cfg.Cache.Shards = shards
 	cfg.Cache.WritebackThreshold = writeback
 	cfg.Cache.WritebackPolicy = policy
+	cfg.DiskQueue = queue
 	store, err := fsim.NewFileStore(cfg)
 	if err != nil {
 		return nil, nil, 0, err
@@ -322,7 +347,7 @@ func loadBaselineHotPath(path string) map[string]float64 {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_5.json", "output path (\"-\" for stdout)")
+		out      = flag.String("out", "BENCH_6.json", "output path (\"-\" for stdout)")
 		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if an engine-only guarded row regresses >25%")
 		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
 		requests = flag.Int("requests", 256, "total reads across workers")
@@ -351,7 +376,7 @@ func main() {
 
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {
-		r, store, wall, err := replay(workers, shards, threshold, simdisk.SSTF, *fileSize, *requests)
+		r, store, wall, err := replay(workers, shards, threshold, simdisk.SSTF, fsim.DiskQueuePrivate, *fileSize, *requests)
 		if err != nil {
 			fatal(err)
 		}
@@ -384,7 +409,7 @@ func main() {
 		{threshold, simdisk.SCAN},
 	}
 	for _, ab := range ablations {
-		r, store, _, err := replay(8, shards, ab.writeback, ab.policy, *fileSize, *requests)
+		r, store, _, err := replay(8, shards, ab.writeback, ab.policy, fsim.DiskQueuePrivate, *fileSize, *requests)
 		if err != nil {
 			fatal(err)
 		}
@@ -405,6 +430,29 @@ func main() {
 		}
 		store.Close()
 		rep.WritebackAblation = append(rep.WritebackAblation, row)
+	}
+
+	for _, lanes := range []int{1, 4, 8} {
+		for _, policy := range []simdisk.SchedPolicy{simdisk.FCFS, simdisk.SSTF, simdisk.SCAN} {
+			r, store, _, err := replay(lanes, shards, 0, policy, fsim.DiskQueueShared, *fileSize, *requests)
+			if err != nil {
+				fatal(err)
+			}
+			qs := store.SharedQueue().Stats()
+			store.Close()
+			rep.SharedQContention = append(rep.SharedQContention, contentionRow{
+				Name:            fmt.Sprintf("sharedq_l%d_%s", lanes, policy),
+				Lanes:           lanes,
+				Policy:          policy.String(),
+				SimElapsedNS:    r.Elapsed.Nanoseconds(),
+				ReadMeanMS:      r.Read.Mean(),
+				Dispatches:      qs.Dispatches,
+				SyncDispatches:  qs.SyncDispatches,
+				AsyncDispatches: qs.AsyncDispatches,
+				MaxPending:      int64(qs.MaxPending),
+				QueueDelayNS:    qs.QueueDelay.Nanoseconds(),
+			})
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -48,11 +48,16 @@ func main() {
 		writeback  = flag.Int("writeback", 0, "background write-back threshold in dirty pages per stripe (0 = flush on close)")
 		wbBatch    = flag.Int("writeback-batch", 0, "pages per scheduled write-back drain (0 = whole dirty set)")
 		wbHigh     = flag.Int("writeback-highwater", 0, "dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
-		sched      = flag.String("sched", "fcfs", "write-back disk scheduling policy: fcfs | sstf | scan")
+		sched      = flag.String("sched", "fcfs", "disk scheduling policy (write-back batches, and the shared queue): fcfs | sstf | scan")
+		diskQueue  = flag.String("disk-queue", "private", "disk-queue mode: private (per-worker timing views) | shared (one contended queue)")
 	)
 	flag.Parse()
 
 	policy, err := simdisk.ParsePolicy(*sched)
+	if err != nil {
+		fatal(err)
+	}
+	queueMode, err := fsim.ParseDiskQueue(*diskQueue)
 	if err != nil {
 		fatal(err)
 	}
@@ -155,6 +160,7 @@ func main() {
 		cfg.Cache.WritebackBatch = *wbBatch
 		cfg.Cache.WritebackHighwater = *wbHigh
 		cfg.Cache.WritebackPolicy = policy
+		cfg.DiskQueue = queueMode
 		s, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			fatal(err)
@@ -193,6 +199,12 @@ func main() {
 		}
 		fmt.Printf("write-back: %d pages in %d scheduled batches, horizon %v\n",
 			st.WritebackPages, st.WritebackBatches, horizon)
+	}
+	if fs, ok := store.(*fsim.FileStore); ok && fs.SharedQueue() != nil {
+		q := fs.SharedQueue()
+		qs := q.Stats()
+		fmt.Printf("shared queue (%s): %d dispatches (%d sync, %d async), max depth %d, queue delay %v\n",
+			q.Policy(), qs.Dispatches, qs.SyncDispatches, qs.AsyncDispatches, qs.MaxPending, qs.QueueDelay)
 	}
 	if *perReq {
 		for _, r := range rep.Requests {

@@ -43,7 +43,8 @@ func main() {
 		lanes     = flag.Bool("lanes", false, "serve mode: give every connection its own virtual-time session")
 		writeback = flag.Int("writeback", 0, "serve mode: background write-back threshold in dirty pages per stripe (0 = off)")
 		wbHigh    = flag.Int("writeback-highwater", 0, "serve mode: dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
-		sched     = flag.String("sched", "fcfs", "serve mode: write-back scheduling policy: fcfs | sstf | scan")
+		sched     = flag.String("sched", "fcfs", "serve mode: disk scheduling policy (write-back, shared queue): fcfs | sstf | scan")
+		diskQueue = flag.String("disk-queue", "private", "serve mode: disk-queue mode: private | shared (contended queue across connection lanes; needs -lanes)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	case "tables":
 		runTables()
 	case "serve":
-		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched)
+		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched, *diskQueue)
 	case "servefs":
 		runServeFS(*addr, *shards)
 	case "load":
@@ -80,7 +81,7 @@ func runTables() {
 	fmt.Println(fig.RenderLines(44, 10))
 }
 
-func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched string) {
+func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched, diskQueue string) {
 	cfg := fsim.DefaultConfig()
 	if shards == 0 {
 		shards = buffercache.AutoShards()
@@ -90,9 +91,17 @@ func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched 
 	if err != nil {
 		fatal(err)
 	}
+	queueMode, err := fsim.ParseDiskQueue(diskQueue)
+	if err != nil {
+		fatal(err)
+	}
+	if queueMode == fsim.DiskQueueShared && !lanes {
+		fatal(fmt.Errorf("-disk-queue shared needs -lanes: the queue contends connection sessions"))
+	}
 	cfg.Cache.WritebackThreshold = writeback
 	cfg.Cache.WritebackHighwater = wbHigh
 	cfg.Cache.WritebackPolicy = policy
+	cfg.DiskQueue = queueMode
 	store, err := fsim.NewFileStore(cfg)
 	if err != nil {
 		fatal(err)
@@ -117,6 +126,9 @@ func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched 
 	mode := "shared clock"
 	if lanes {
 		mode = "per-connection lanes"
+		if queueMode == fsim.DiskQueueShared {
+			mode = fmt.Sprintf("per-connection lanes, shared %s disk queue", policy)
+		}
 	}
 	fmt.Printf("serving benchmark corpus on %s with %d cache stripes, %s (ctrl-c to stop)\n",
 		bound, store.Cache().NumShards(), mode)

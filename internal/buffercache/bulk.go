@@ -299,11 +299,14 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 
 	sequential := io.noteRead(first, last)
 
-	if c.shardShift == 0 {
+	if c.shardShift == 0 && io.async == nil {
 		// Single-stripe configuration (the paper default): the whole
 		// range lives in shard 0, so the merged path below does lookup,
 		// miss accounting, fill, install, and read-ahead under one lock
-		// acquisition instead of one per phase.
+		// acquisition instead of one per phase. Shared-queue backends
+		// opt out: their demand Access blocks on the event merge, and
+		// blocking while holding the stripe lock would stall every other
+		// lane's cache work behind this lane's turn in the queue.
 		return c.readIOOneShard(io, now, first, last, sequential)
 	}
 
@@ -352,7 +355,7 @@ func (c *Cache) ReadIO(io *IO, now time.Time, offset, length int64) (time.Time, 
 		if sequential && c.cfg.PrefetchPages > 0 {
 			pfStart := missEnd + 1
 			pfEnd := missEnd + int64(c.cfg.PrefetchPages)
-			io.backend.Access(diskDone, simdisk.Request{
+			io.evictAccess(diskDone, simdisk.Request{
 				Offset: pfStart * c.cfg.PageSize,
 				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
 			})

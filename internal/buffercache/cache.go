@@ -66,6 +66,23 @@ type RunBackend interface {
 	AccessRun(now time.Time, r simdisk.Run) (done time.Time, service time.Duration)
 }
 
+// AsyncBackend is the optional fire-and-forget capability shared-queue
+// lanes provide. Eviction write-backs and readahead are submitted while
+// the caller holds a cache shard lock; on a shared queue a blocking
+// submission there could deadlock the event merge (the lane that must
+// produce the earlier-timestamped request may be waiting on that very
+// lock), so those requests go through the Async forms. The returned
+// time is the caller's stall horizon: the true completion when the
+// backend can serve inline (a sole-lane queue), otherwise the
+// submission time — queued background writes no longer stall the
+// foreground. Private disk views do not implement this; they keep the
+// original inline billing.
+type AsyncBackend interface {
+	Backend
+	AccessAsync(now time.Time, req simdisk.Request) time.Time
+	AccessRunAsync(now time.Time, r simdisk.Run) time.Time
+}
+
 // backendRun submits a contiguous run on be: one AccessRun when the
 // backend supports it, the equivalent Access sequence otherwise.
 func backendRun(be Backend, now time.Time, r simdisk.Run) time.Time {
@@ -319,6 +336,12 @@ type IO struct {
 	// NewIO so the per-run hot path never re-checks; nil when the
 	// backend only supports single requests.
 	run RunBackend
+	// async is the backend's fire-and-forget capability (shared-queue
+	// lanes); nil for private disk views, which bill evictions inline.
+	async AsyncBackend
+	// batch is the backend's batch-scheduling capability, used by the
+	// flush sweep; nil when the backend cannot order a batch itself.
+	batch BatchBackend
 
 	// tails holds the last page of several recent read streams, so that
 	// interleaved sequential scans (one per file or region, as the
@@ -343,6 +366,8 @@ func (c *Cache) NewIO(backend Backend) *IO {
 	}
 	io := &IO{backend: backend}
 	io.run, _ = backend.(RunBackend)
+	io.async, _ = backend.(AsyncBackend)
+	io.batch, _ = backend.(BatchBackend)
 	io.reset()
 	return io
 }
@@ -354,6 +379,26 @@ func (io *IO) accessRun(now time.Time, r simdisk.Run) time.Time {
 		return done
 	}
 	return backendRun(io.backend, now, r)
+}
+
+// evictAccess submits a background request — an eviction write-back or
+// readahead issued under a shard lock — and returns the caller's stall
+// horizon. Private views bill inline (unchanged behavior); shared-queue
+// lanes take the non-blocking async path.
+func (io *IO) evictAccess(now time.Time, req simdisk.Request) time.Time {
+	if io.async != nil {
+		return io.async.AccessAsync(now, req)
+	}
+	done, _ := io.backend.Access(now, req)
+	return done
+}
+
+// evictRun is evictAccess for contiguous runs.
+func (io *IO) evictRun(now time.Time, r simdisk.Run) time.Time {
+	if io.async != nil {
+		return io.async.AccessRunAsync(now, r)
+	}
+	return io.accessRun(now, r)
 }
 
 // reset clears the stream-tail slots to the never-adjacent sentinel.
@@ -627,7 +672,7 @@ func (c *Cache) readIOPages(io *IO, now time.Time, offset, length int64) (time.T
 		if sequential && c.cfg.PrefetchPages > 0 {
 			pfStart := runEnd + 1
 			pfEnd := runEnd + int64(c.cfg.PrefetchPages)
-			io.backend.Access(diskDone, simdisk.Request{
+			io.evictAccess(diskDone, simdisk.Request{
 				Offset: pfStart * c.cfg.PageSize,
 				Length: (pfEnd - pfStart + 1) * c.cfg.PageSize,
 			})
@@ -769,6 +814,13 @@ func (fr *flushRun) add(page int64) {
 	if !fr.c.cleanForFlush(page) {
 		return
 	}
+	fr.addClean(page)
+}
+
+// addClean extends spans over a page the caller already cleaned
+// (flushPagesIO cleans before billing, so the batched and chained
+// billing paths share one collection pass).
+func (fr *flushRun) addClean(page int64) {
 	if fr.count > 0 && page == fr.last+1 {
 		fr.last = page
 		fr.count++
@@ -795,11 +847,36 @@ func (fr *flushRun) flush() {
 
 // flushPagesIO writes back the still-dirty pages of the ascending
 // candidate list on io's backend view and returns the final completion
-// horizon.
+// horizon. The sweep is scheduled rather than hand-chained: when the
+// backend can batch-schedule (both simdisk devices and shared-queue
+// lanes can), the cleaned pages go to ServeBatch as one sweep ordered
+// by the configured write-back policy — under a shared queue the whole
+// sweep takes its place in the contended disk queue. For an FCFS policy
+// over the ascending page list the per-request completions chain on the
+// device's busy horizon exactly as the old caller-chained elevator did,
+// so the default configuration's timing is unchanged; plain backends
+// without batch scheduling keep the chained spans as the fallback.
 func (c *Cache) flushPagesIO(io *IO, done time.Time, pages []int64) time.Time {
-	fr := flushRun{c: c, io: io, done: done}
+	live := make([]int64, 0, len(pages))
 	for _, page := range pages {
-		fr.add(page)
+		if c.cleanForFlush(page) {
+			live = append(live, page)
+		}
+	}
+	if len(live) == 0 {
+		return done
+	}
+	if io.batch != nil {
+		reqs := make([]simdisk.Request, len(live))
+		for i, page := range live {
+			reqs[i] = simdisk.Request{Offset: page * c.cfg.PageSize, Length: c.cfg.PageSize, Write: true}
+		}
+		_, end := io.batch.ServeBatch(done, reqs, c.cfg.WritebackPolicy)
+		return end
+	}
+	fr := flushRun{c: c, io: io, done: done}
+	for _, page := range live {
+		fr.addClean(page)
 	}
 	fr.flush()
 	return fr.done

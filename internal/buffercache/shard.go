@@ -119,7 +119,7 @@ func (s *shard) evictLocked(c *Cache, io *IO, now time.Time, victim *frame) time
 	s.stats.Evictions++
 	done := now
 	if victim.dirty {
-		done, _ = io.backend.Access(now, simdisk.Request{
+		done = io.evictAccess(now, simdisk.Request{
 			Offset: victim.page * c.cfg.PageSize,
 			Length: c.cfg.PageSize,
 			Write:  true,
@@ -183,7 +183,7 @@ func (s *shard) billVictimsLocked(c *Cache, io *IO, now, horizon time.Time, adva
 		if advance {
 			at = horizon
 		}
-		done := io.accessRun(at, simdisk.Run{
+		done := io.evictRun(at, simdisk.Run{
 			Offset: s.victims[i] * c.cfg.PageSize,
 			Length: c.cfg.PageSize,
 			Count:  int64(j - i),

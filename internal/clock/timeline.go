@@ -128,3 +128,13 @@ func MaxTime(a, b time.Time) time.Time {
 	}
 	return a
 }
+
+// MinTime returns the earlier of a and b — the dual of MaxTime, used by
+// event merges (the shared disk queue) that pop the earliest pending
+// timestamp across lanes.
+func MinTime(a, b time.Time) time.Time {
+	if b.Before(a) {
+		return b
+	}
+	return a
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/buffercache"
+	"repro/internal/fsim"
 	"repro/internal/simdisk"
 	"repro/internal/tracegen"
 )
@@ -38,8 +39,13 @@ type Options struct {
 	// default) never stalls writers; requires Writeback > 0.
 	WritebackHighwater int
 	// SchedPolicy orders write-back batches at the disk queue: FCFS,
-	// SSTF, or SCAN. Ignored while Writeback is zero.
+	// SSTF, or SCAN. In shared disk-queue mode it also orders the
+	// contended queue itself. Ignored while Writeback is zero and
+	// DiskQueue is private.
 	SchedPolicy simdisk.SchedPolicy
+	// DiskQueue selects private per-session disk-timing views (the
+	// default) or one shared contended queue across all sessions.
+	DiskQueue fsim.DiskQueueMode
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -76,6 +82,10 @@ func SetOptions(opts Options) {
 		current.SchedPolicy = simdisk.FCFS
 		buffercache.SetDefaultWriteback(0, 0, 0, simdisk.FCFS)
 	}
+	if err := fsim.SetDefaultDiskQueue(current.DiskQueue); err != nil {
+		current.DiskQueue = fsim.DiskQueuePrivate
+		fsim.SetDefaultDiskQueue(fsim.DiskQueuePrivate)
+	}
 }
 
 // fillDefaults replaces zero fields with defaults.
@@ -108,6 +118,7 @@ type configJSON struct {
 	WritebackBatch     *int     `json:"writeback_batch"`
 	WritebackHighwater *int     `json:"writeback_highwater"`
 	SchedPolicy        *string  `json:"sched_policy"`
+	DiskQueue          *string  `json:"disk_queue"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -180,6 +191,13 @@ func LoadOptions(r io.Reader) (Options, error) {
 			return Options{}, fmt.Errorf("core: %w", err)
 		}
 		opts.SchedPolicy = policy
+	}
+	if cfg.DiskQueue != nil {
+		mode, err := fsim.ParseDiskQueue(*cfg.DiskQueue)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.DiskQueue = mode
 	}
 	if err := opts.Machine.Validate(); err != nil {
 		return Options{}, err

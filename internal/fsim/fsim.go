@@ -38,6 +38,7 @@ import (
 	"repro/internal/buffercache"
 	"repro/internal/clock"
 	"repro/internal/simdisk"
+	"repro/internal/simdisk/sharedq"
 )
 
 // Store is a file system that reports a simulated-or-real duration for
@@ -122,6 +123,10 @@ type Config struct {
 	StripeUnit int64
 	// RAIDLevel selects the array redundancy scheme (default RAID0).
 	RAIDLevel simdisk.Level
+	// DiskQueue selects private per-session disk-timing views (the
+	// default, bit-identical to the original model) or one shared
+	// contended queue across every session's lane; see DiskQueueMode.
+	DiskQueue DiskQueueMode
 }
 
 // ShardedConfig is DefaultConfig with the page cache lock-striped for the
@@ -156,6 +161,7 @@ func DefaultConfig() Config {
 		Disk:             simdisk.MemoryBackedParams(),
 		Disks:            1,
 		StripeUnit:       64 << 10,
+		DiskQueue:        DefaultDiskQueue(),
 	}
 }
 
@@ -170,6 +176,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fsim: need at least one disk, got %d", c.Disks)
 	case c.StripeUnit <= 0:
 		return fmt.Errorf("fsim: stripe unit %d must be positive", c.StripeUnit)
+	case !c.DiskQueue.Valid():
+		return fmt.Errorf("fsim: invalid disk-queue mode %d", int(c.DiskQueue))
 	}
 	if err := c.Cache.Validate(); err != nil {
 		return err
@@ -225,6 +233,11 @@ type FileStore struct {
 	cache *buffercache.Cache
 	array *simdisk.Array
 	def   *Session
+	// queue and qArray exist only in shared disk-queue mode: one
+	// contended command queue over one array, which every session's lane
+	// submits into instead of owning a private timing view.
+	queue  *sharedq.Queue
+	qArray *simdisk.Array
 
 	files     sync.Map // name -> *fileMeta
 	nextBase  atomic.Int64
@@ -263,6 +276,18 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	// the cache's default I/O context: plain store calls behave exactly
 	// like the pre-session store.
 	s.def = &Session{store: s, clk: s.clk, io: cache.DefaultIO(), array: array}
+	// Shared disk-queue mode: sessions' requests meet in one contended
+	// queue over one array, ordered by the configured scheduling policy.
+	// The default session (setup traffic, single-threaded callers) stays
+	// on its unregistered view, so it never gates the event merge.
+	if cfg.DiskQueue == DiskQueueShared {
+		qArray, err := simdisk.NewArrayLevel(cfg.Disks, cfg.StripeUnit, cfg.RAIDLevel, cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		s.qArray = qArray
+		s.queue = sharedq.MustNew(qArray, cfg.Cache.WritebackPolicy)
+	}
 	// Background write-back gets its own disk view, like a session: its
 	// drains overlap foreground I/O on independent lanes instead of
 	// racing wall-clock-nondeterministically for the shared busy horizon.
@@ -294,6 +319,11 @@ func (s *FileStore) Cache() *buffercache.Cache { return s.cache }
 // Array exposes the shared disk array for stats inspection. Sessions
 // time their I/O against private views; TotalDiskStats aggregates both.
 func (s *FileStore) Array() *simdisk.Array { return s.array }
+
+// SharedQueue exposes the shared disk queue, or nil when the store runs
+// private per-session views (the default). Benchmarks read its Stats for
+// the contention rows.
+func (s *FileStore) SharedQueue() *sharedq.Queue { return s.queue }
 
 // Clock exposes the store's default virtual-clock lane.
 func (s *FileStore) Clock() *clock.VirtualClock { return s.clk }
@@ -332,11 +362,15 @@ func (s *FileStore) Settle() (time.Time, time.Duration) {
 // so no simulated disk traffic is invisible.
 func (s *FileStore) TotalDiskStats() simdisk.Stats {
 	total := s.array.TotalStats()
+	if s.qArray != nil {
+		// Shared-queue sessions all bill the one contended array.
+		total.Add(s.qArray.TotalStats())
+	}
 	s.sessMu.Lock()
 	defer s.sessMu.Unlock()
 	total.Add(s.retired)
 	for _, sess := range s.sessions {
-		if sess.array == s.array {
+		if sess.array == nil || sess.array == s.array {
 			continue
 		}
 		total.Add(sess.array.TotalStats())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/buffercache"
 	"repro/internal/clock"
 	"repro/internal/simdisk"
+	"repro/internal/simdisk/sharedq"
 )
 
 // Session is an independent virtual timeline over a shared FileStore:
@@ -29,7 +30,8 @@ type Session struct {
 	store *FileStore
 	clk   *clock.VirtualClock
 	io    *buffercache.IO
-	array *simdisk.Array // private timing view (the shared array for the default session)
+	array *simdisk.Array // private timing view (the shared array for the default session; nil in shared-queue mode)
+	lane  *sharedq.Lane  // shared-queue port (nil in private mode)
 }
 
 var (
@@ -42,17 +44,22 @@ var (
 // view with the store's geometry. The view is private for timing only —
 // every byte still moves through the shared cache and namespace.
 func (s *FileStore) NewSession() *Session {
-	// The configuration was validated when the store was built, so the
-	// private view cannot fail to construct.
-	array, err := simdisk.NewArrayLevel(s.cfg.Disks, s.cfg.StripeUnit, s.cfg.RAIDLevel, s.cfg.Disk)
-	if err != nil {
-		panic(fmt.Sprintf("fsim: session array from validated config: %v", err))
-	}
-	sess := &Session{
-		store: s,
-		clk:   s.tl.NewLane(),
-		io:    s.cache.NewIO(array),
-		array: array,
+	clk := s.tl.NewLane()
+	var sess *Session
+	if s.queue != nil {
+		// Shared-queue mode: the session's disk port is a lane into the
+		// one contended queue instead of a private array. The lane
+		// satisfies the cache's Backend capabilities directly.
+		lane := s.queue.NewLane(clk.Now())
+		sess = &Session{store: s, clk: clk, io: s.cache.NewIO(lane), lane: lane}
+	} else {
+		// The configuration was validated when the store was built, so the
+		// private view cannot fail to construct.
+		array, err := simdisk.NewArrayLevel(s.cfg.Disks, s.cfg.StripeUnit, s.cfg.RAIDLevel, s.cfg.Disk)
+		if err != nil {
+			panic(fmt.Sprintf("fsim: session array from validated config: %v", err))
+		}
+		sess = &Session{store: s, clk: clk, io: s.cache.NewIO(array), array: array}
 	}
 	s.sessMu.Lock()
 	s.sessions = append(s.sessions, sess)
@@ -75,12 +82,41 @@ func (sess *Session) Release() {
 	for i, other := range s.sessions {
 		if other == sess {
 			s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
-			s.retired.Add(sess.array.TotalStats())
+			if sess.array != nil {
+				s.retired.Add(sess.array.TotalStats())
+			}
 			break
 		}
 	}
 	s.sessMu.Unlock()
+	if sess.lane != nil {
+		// Shared-queue mode: unregister from the event merge. The lane's
+		// billed traffic already lives on the store's contended array.
+		sess.lane.Release()
+	}
 	s.tl.ReleaseLane(sess.clk)
+}
+
+// advance tells the shared disk queue this session will submit nothing
+// timestamped before now — the lookahead promise the event merge's
+// conservative dispatch needs. Sessions call it at the start of every
+// operation; in private mode it is a no-op.
+func (sess *Session) advance(now time.Time) {
+	if sess.lane != nil {
+		sess.lane.Advance(now)
+	}
+}
+
+// Idle parks the session's shared-queue lane: the session promises not
+// to touch the store again until its next operation (which unparks it).
+// Callers that block outside simulated time — a replay worker out of
+// records, a server connection waiting for the next request — must call
+// it, or the contended queue conservatively waits for them. A no-op in
+// private mode.
+func (sess *Session) Idle() {
+	if sess.lane != nil {
+		sess.lane.Park()
+	}
 }
 
 // Clock exposes the session's lane.
@@ -95,6 +131,7 @@ func (sess *Session) Elapsed() time.Duration { return sess.clk.Now().Sub(sess.st
 func (sess *Session) Create(name string, data []byte) (time.Duration, error) {
 	s := sess.store
 	now := sess.clk.Now()
+	sess.advance(now)
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	meta, ok := s.lookup(name)
@@ -138,6 +175,7 @@ func (sess *Session) CreateSized(name string, size int64) (time.Duration, error)
 	}
 	s := sess.store
 	now := sess.clk.Now()
+	sess.advance(now)
 	meta := &fileMeta{name: name, base: s.allocExtent(size), sparse: true, size: size}
 	s.files.Store(name, meta)
 	done := now.Add(s.cfg.CreateCost)
@@ -153,6 +191,7 @@ func (sess *Session) Open(name string) (File, time.Duration, error) {
 		return nil, 0, &fs.PathError{Op: "open", Path: name, Err: ErrNotExist}
 	}
 	now := sess.clk.Now()
+	sess.advance(now)
 	done := now.Add(s.cfg.OpenCost)
 	sess.clk.Set(done)
 	// Background warm-up of the first pages (§3.4): occupies the cache and
@@ -176,6 +215,7 @@ func (sess *Session) Remove(name string) (time.Duration, error) {
 		return 0, &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
 	}
 	now := sess.clk.Now()
+	sess.advance(now)
 	// Dropping the directory entry costs like a create; the extent's
 	// cached pages become dead weight the LRU will reclaim naturally.
 	done := now.Add(s.cfg.CreateCost)
@@ -193,6 +233,7 @@ func (sess *Session) Stat(name string) (int64, time.Duration, error) {
 		return 0, 0, &fs.PathError{Op: "stat", Path: name, Err: ErrNotExist}
 	}
 	now := sess.clk.Now()
+	sess.advance(now)
 	done := now.Add(s.cfg.OpenCost)
 	sess.clk.Set(done)
 	return meta.length(), done.Sub(now), nil
@@ -252,6 +293,7 @@ func (f *simFile) Read(p []byte) (int, time.Duration, error) {
 		clear(p[:n])
 	}
 	now := f.sess.clk.Now()
+	f.sess.advance(now)
 	done, _ := f.store.cache.ReadIO(f.sess.io, now, m.base+f.pos, n)
 	f.sess.clk.Set(done)
 	f.pos += n
@@ -301,6 +343,7 @@ func (f *simFile) Write(p []byte) (int, time.Duration, error) {
 	}
 	m.mu.Unlock()
 	now := f.sess.clk.Now()
+	f.sess.advance(now)
 	done, _ := s.cache.WriteIO(f.sess.io, now, m.base+f.pos, int64(len(p)))
 	f.sess.clk.Set(done)
 	f.pos = end
@@ -315,6 +358,7 @@ func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error)
 	if f.closed {
 		return 0, 0, ErrClosed
 	}
+	f.sess.advance(f.sess.clk.Now())
 	length := f.meta.length()
 	var target int64
 	switch whence {
@@ -357,6 +401,7 @@ func (f *simFile) Close() (time.Duration, error) {
 	}
 	f.closed = true
 	now := f.sess.clk.Now()
+	f.sess.advance(now)
 	done := now.Add(f.store.cfg.CloseCost)
 	if f.wrote {
 		if f.store.cache.WritebackEnabled() {

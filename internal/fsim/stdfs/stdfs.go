@@ -1,6 +1,7 @@
 // Package stdfs adapts a fsim store to Go's standard filesystem
 // interfaces: FS implements fs.FS, fs.ReadDirFS, fs.StatFS, and
-// fs.ReadFileFS over any fsim.Store (a *fsim.FileStore, a per-worker
+// fs.ReadFileFS — plus this package's WriteFS mutation extension —
+// over any fsim.Store (a *fsim.FileStore, a per-worker
 // *fsim.Session, an OSStore, or any wrapper), and the handles it opens
 // satisfy fs.File plus io.Reader, io.Writer, io.Seeker, and io.ReaderAt.
 // Real Go code — http.FileServer, fs.WalkDir, archive/tar,
@@ -60,12 +61,28 @@ type FS struct {
 	cost atomic.Int64
 }
 
+// WriteFS is the facade's mutation extension: the io/fs package defines
+// no standard write-side interface, so suites that build and tear down
+// fixtures through the facade (testing/fstest-style mutation suites,
+// corpus installers) depend on this one. *FS implements it over any
+// store; paths follow the same fs.ValidPath discipline as the read side,
+// and both operations bill the facade ledger.
+type WriteFS interface {
+	fs.FS
+	// Create makes (or truncates) the named file holding data.
+	Create(name string, data []byte) error
+	// Remove deletes the named file; removing a missing file reports
+	// fs.ErrNotExist.
+	Remove(name string) error
+}
+
 // Compile-time checks: the facade speaks the extended stdlib interfaces.
 var (
 	_ fs.FS         = (*FS)(nil)
 	_ fs.ReadDirFS  = (*FS)(nil)
 	_ fs.StatFS     = (*FS)(nil)
 	_ fs.ReadFileFS = (*FS)(nil)
+	_ WriteFS       = (*FS)(nil)
 )
 
 // New wraps store. For per-lane billing hand it a *fsim.Session; for the
@@ -197,6 +214,35 @@ func (fsys *FS) ReadFile(name string) ([]byte, error) {
 		return nil, pathError("close", name, err)
 	}
 	return buf, nil
+}
+
+// Create makes (or truncates) the named file holding data, billed to
+// the facade ledger like any read-side operation. Directories need no
+// creating: they exist exactly while a file lives under their prefix.
+func (fsys *FS) Create(name string, data []byte) error {
+	if !fs.ValidPath(name) || name == "." {
+		return &fs.PathError{Op: "create", Path: name, Err: fs.ErrInvalid}
+	}
+	d, err := fsys.store.Create(name, data)
+	fsys.bill(d)
+	if err != nil {
+		return pathError("create", name, err)
+	}
+	return nil
+}
+
+// Remove deletes the named file. A directory vanishes with its last
+// file; removing one directly (or a missing file) is fs.ErrNotExist.
+func (fsys *FS) Remove(name string) error {
+	if !fs.ValidPath(name) || name == "." {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrInvalid}
+	}
+	d, err := fsys.store.Remove(name)
+	fsys.bill(d)
+	if err != nil {
+		return pathError("remove", name, err)
+	}
+	return nil
 }
 
 // dirExists reports whether any valid-path file lives under name/.

@@ -1,0 +1,112 @@
+package stdfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/fsim"
+)
+
+// TestWriteFSMutationSuite drives the facade's mutation extension the
+// way a testing/fstest-style suite would: build a fixture tree entirely
+// through WriteFS.Create, prove the result passes the stdlib
+// conformance suite, then tear it down through Remove and prove every
+// trace of it — files and the directories they implied — is gone.
+func TestWriteFSMutationSuite(t *testing.T) {
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	defer store.Close()
+	var fsys WriteFS = New(store)
+
+	fixture := map[string][]byte{
+		"alpha.txt":          []byte("alpha"),
+		"pkg/mod/go.sum":     []byte("h1:checksum"),
+		"pkg/mod/go.mod":     []byte("module fixture"),
+		"pkg/doc/readme.md":  []byte("# fixture"),
+		"deep/a/b/c/leaf.go": []byte("package leaf"),
+		"empty.bin":          nil,
+	}
+	names := make([]string, 0, len(fixture))
+	for name, data := range fixture {
+		if err := fsys.Create(name, data); err != nil {
+			t.Fatalf("Create(%q): %v", name, err)
+		}
+		names = append(names, name)
+	}
+
+	// The tree built through the facade is a conforming filesystem.
+	if err := fstest.TestFS(fsys, names...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contents round-trip, and create-over-existing truncates.
+	if got, err := fs.ReadFile(fsys, "alpha.txt"); err != nil || string(got) != "alpha" {
+		t.Fatalf("ReadFile(alpha.txt) = %q, %v", got, err)
+	}
+	if err := fsys.Create("alpha.txt", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(fsys, "alpha.txt"); string(got) != "rewritten" {
+		t.Fatalf("after truncating Create, ReadFile = %q", got)
+	}
+
+	// Tear down. Each removal must take its file with it; the last file
+	// under a prefix takes the synthesized directory too.
+	for _, name := range names {
+		if err := fsys.Remove(name); err != nil {
+			t.Fatalf("Remove(%q): %v", name, err)
+		}
+		if _, err := fsys.Open(name); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("Open(%q) after Remove: %v, want fs.ErrNotExist", name, err)
+		}
+	}
+	for _, dir := range []string{"pkg", "pkg/mod", "deep/a/b/c"} {
+		if _, err := fs.ReadDir(fsys, dir); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("ReadDir(%q) after teardown: %v, want fs.ErrNotExist", dir, err)
+		}
+	}
+	if entries, err := fs.ReadDir(fsys, "."); err != nil || len(entries) != 0 {
+		t.Fatalf("root after teardown: %d entries, %v", len(entries), err)
+	}
+}
+
+// TestWriteFSErrors pins the mutation extension's error discipline:
+// invalid paths and the root are fs.ErrInvalid before touching the
+// store, removing a missing file is fs.ErrNotExist, and every error is
+// a *fs.PathError carrying the right Op and Path.
+func TestWriteFSErrors(t *testing.T) {
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	defer store.Close()
+	fsys := New(store)
+
+	for _, name := range []string{".", "../escape", "/abs", "a//b", ""} {
+		if err := fsys.Create(name, nil); !errors.Is(err, fs.ErrInvalid) {
+			t.Errorf("Create(%q) = %v, want fs.ErrInvalid", name, err)
+		}
+		if err := fsys.Remove(name); !errors.Is(err, fs.ErrInvalid) {
+			t.Errorf("Remove(%q) = %v, want fs.ErrInvalid", name, err)
+		}
+	}
+
+	err := fsys.Remove("never-created")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Remove(missing) = %v, want fs.ErrNotExist", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) || pe.Path != "never-created" {
+		t.Fatalf("Remove(missing) = %#v, want *fs.PathError for the path", err)
+	}
+
+	// Mutations bill the facade ledger like the read side does.
+	before := fsys.Cost()
+	if err := fsys.Create("billed.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove("billed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Cost() <= before {
+		t.Fatalf("mutations did not bill the ledger: %v -> %v", before, fsys.Cost())
+	}
+}

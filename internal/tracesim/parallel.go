@@ -69,6 +69,11 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		go func(i int, st fsim.Store, recs []*trace.Record) {
 			defer wg.Done()
 			reports[i], errs[i] = rp.replayRecords(st, appName, tr.Header.SampleFile, recs)
+			if sess, ok := st.(*fsim.Session); ok {
+				// Out of records forever: park the lane so a shared disk
+				// queue stops waiting for this worker (no-op otherwise).
+				sess.Idle()
+			}
 		}(i, st, byPID[pid])
 	}
 	wg.Wait()

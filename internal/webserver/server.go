@@ -232,9 +232,10 @@ func (s *Server) record(r RequestRecord) {
 // virtual-time session.
 func (s *Server) startListen(conn net.Conn) {
 	st := s.cfg.Store
+	var sess *fsim.Session
 	if s.cfg.Lanes {
 		if ls, ok := st.(laneStore); ok {
-			sess := ls.NewSession()
+			sess = ls.NewSession()
 			// Retire the lane when the connection ends: its time folds
 			// into the store's timeline, so long-running servers do not
 			// accumulate dead lanes.
@@ -246,6 +247,13 @@ func (s *Server) startListen(conn net.Conn) {
 	defer ns.Close()
 	br := bufio.NewReader(readerFunc(ns.Read))
 	for {
+		if sess != nil {
+			// Waiting on the network is outside simulated time: park the
+			// lane so a shared disk queue does not conservatively hold
+			// other connections' requests for this one. The next file
+			// operation unparks it.
+			sess.Idle()
+		}
 		req, err := parseRequest(br, s.cfg.Runtime)
 		if err != nil {
 			if err != io.EOF {
