@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-cold bench-contention bench-json stdfs-smoke fmt vet fmt-check ci
+.PHONY: all build test race bench bench-cold bench-contention bench-trace bench-json stdfs-smoke fmt vet fmt-check ci
 
 all: build
 
@@ -16,9 +16,12 @@ test:
 
 # The concurrency suite: the sharded buffer cache, concurrent trace
 # replay, the page-table fuzz corpus, and the web server all run under
-# the race detector.
+# the race detector. The explicit -run Fuzz pass replays the checked-in
+# fuzz seed corpora (trace decode, dump parse, page table) as regular
+# race-instrumented tests.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -run 'Fuzz' ./internal/trace/ ./internal/buffercache/
 
 # Benchmark smoke: every benchmark runs exactly once so regressions in
 # the harness itself (not perf) surface in CI quickly.
@@ -43,17 +46,30 @@ bench-contention:
 	$(GO) run ./cmd/tracebench -app Parallel -workers 4 -concurrent -shards 8 -disk-queue shared -sched sstf
 	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf
 
+# Trace-pipeline smoke: the v2 encode/decode/replay benchmarks run once
+# (records/sec, bytes/record, 0 allocs/record), then the out-of-core
+# example streams a generator -> encoder -> pipe -> Scanner ->
+# ReplayStream pipeline end to end and prints bytes/record and peak
+# heap. Together they exercise every stage of the out-of-core path from
+# the command line.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkScanV1|BenchmarkScanV2|BenchmarkEncodeV2' -benchtime=1x ./internal/trace
+	$(GO) test -run '^$$' -bench 'BenchmarkReplayStream' -benchtime=1x ./internal/tracesim
+	$(GO) run ./examples/outofcore -records 100000
+
 # Machine-readable bench trajectory: the hot-path microbenchmarks
-# (including the engine-only miss/evict row), the shard/worker scaling,
-# the write-back ablation, and the shared-queue contention rows of the
-# simulated-parallel replay. CI uploads the file as an artifact; the
-# committed copy tracks the trajectory in-repo and doubles as the
-# regression baseline — the run fails if an engine-only guarded row
-# (cache_warm_read_64k or cache_miss_evict) regresses more than 25%
-# against it. A failed run leaves the baseline untouched and writes the
-# regressed report to BENCH_6.json.failed.json.
+# (including the engine-only miss/evict row and the per-record trace
+# decode/replay rows), the trace-format bytes/record table, the
+# shard/worker scaling, the write-back ablation, and the shared-queue
+# contention rows of the simulated-parallel replay. CI uploads the file
+# as an artifact; the committed copy tracks the trajectory in-repo and
+# doubles as the regression baseline — the run fails if an engine-only
+# guarded row (cache_warm_read_64k, cache_miss_evict, trace_decode_v1
+# or trace_decode_v2) regresses more than 25% against it. A failed run
+# leaves the baseline untouched and writes the regressed report to
+# BENCH_7.json.failed.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_6.json -baseline BENCH_6.json
+	$(GO) run ./cmd/benchjson -out BENCH_7.json -baseline BENCH_7.json
 
 # End-to-end smoke for the io/fs facade: the example runs unmodified
 # stdlib code (fs.WalkDir, fs.ReadFile, archive/tar) against the
@@ -75,4 +91,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test race bench bench-cold bench-contention stdfs-smoke
+ci: build vet fmt-check test race bench bench-cold bench-contention bench-trace stdfs-smoke

@@ -1,6 +1,6 @@
 // Benchjson emits the bench trajectory as machine-readable JSON (`make
-// bench-json` writes BENCH_6.json, CI uploads it and fails on hot-path
-// regressions). Four sections:
+// bench-json` writes BENCH_7.json, CI uploads it and fails on hot-path
+// regressions). Five sections:
 //
 //   - hot_path: in-process microbenchmarks of the replay engine's wall
 //     hot paths — warm 64 KB reads (dense and sparse), the single-page
@@ -11,7 +11,14 @@
 //     row's value from the -baseline report so the file carries its own
 //     before/after comparison. The warm and steady-state evict paths
 //     are pinned at 0 allocs/op by tests; the ns/op trajectory is
-//     guarded by -baseline (see below).
+//     guarded by -baseline (see below). The trace pipeline adds
+//     per-record rows: trace_decode_v1 / trace_decode_v2 (streaming
+//     Scanner decode, both pinned at 0 allocs/record by tests) and
+//     replay_stream (the full out-of-core replay: decode, per-PID
+//     routing, session lanes, merge).
+//   - trace_format: encoded bytes/record for v1 (fixed-width) and v2
+//     (columnar delta/varint) on the Parallel and Mixed workloads — the
+//     on-disk cost the streaming pipeline pays per record.
 //   - worker_scaling: the n-worker partitioned replay on an 8-stripe
 //     write-back store, one virtual-clock lane per worker. Simulated
 //     throughput (operations per simulated second) scales with workers
@@ -29,9 +36,10 @@
 //     not yet under the -baseline guard.
 //
 // With -baseline pointing at a previous report (normally the committed
-// BENCH_6.json), the run fails if an engine-only guarded row —
-// cache_warm_read_64k (the warm path) or cache_miss_evict (the cold
-// path) — regressed more than 25%. The guard runs before -out is
+// BENCH_7.json), the run fails if an engine-only guarded row —
+// cache_warm_read_64k (the warm path), cache_miss_evict (the cold
+// path), or the trace_decode_v1 / trace_decode_v2 per-record decode
+// rows — regressed more than 25%. The guard runs before -out is
 // written, so a failed run leaves the baseline file intact (the
 // regressed report lands in <out>.failed.json instead); it tracks the
 // engine-only rows rather than the end-to-end ones, whose raw
@@ -48,6 +56,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,6 +69,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/fsim/stdfs"
 	"repro/internal/simdisk"
+	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/tracesim"
 )
@@ -113,16 +123,29 @@ type contentionRow struct {
 	QueueDelayNS    int64   `json:"queue_delay_ns"`
 }
 
+// traceFormatRow is one (app, encoding) pair's on-disk cost: the encoded
+// size of the generated trace and its bytes/record. v1 is the 48-byte
+// fixed-width legacy layout; v2 is the block-framed columnar encoding the
+// out-of-core pipeline streams.
+type traceFormatRow struct {
+	App            string  `json:"app"`
+	Version        string  `json:"version"`
+	Records        int     `json:"records"`
+	Bytes          int     `json:"bytes"`
+	BytesPerRecord float64 `json:"bytes_per_record"`
+}
+
 type report struct {
-	Bench             string          `json:"bench"`
-	GeneratedBy       string          `json:"generated_by"`
-	TraceApp          string          `json:"trace_app"`
-	FileSize          int64           `json:"file_size_bytes"`
-	Requests          int             `json:"requests"`
-	HotPath           []hotPathRow    `json:"hot_path"`
-	WorkerScaling     []scalingRow    `json:"worker_scaling"`
-	WritebackAblation []ablationRow   `json:"writeback_ablation"`
-	SharedQContention []contentionRow `json:"sharedq_contention,omitempty"`
+	Bench             string           `json:"bench"`
+	GeneratedBy       string           `json:"generated_by"`
+	TraceApp          string           `json:"trace_app"`
+	FileSize          int64            `json:"file_size_bytes"`
+	Requests          int              `json:"requests"`
+	HotPath           []hotPathRow     `json:"hot_path"`
+	TraceFormat       []traceFormatRow `json:"trace_format,omitempty"`
+	WorkerScaling     []scalingRow     `json:"worker_scaling"`
+	WritebackAblation []ablationRow    `json:"writeback_ablation"`
+	SharedQContention []contentionRow  `json:"sharedq_contention,omitempty"`
 }
 
 // warmReadBenchName is the replay engine's dominant end-to-end
@@ -130,14 +153,17 @@ type report struct {
 const warmReadBenchName = "warm_read_64k_sparse"
 
 // guardBenchNames are the hot-path rows the -baseline guard tracks: the
-// engine-only warm 64 KB cache read (the bulk hit path) and the
+// engine-only warm 64 KB cache read (the bulk hit path), the
 // engine-only miss/evict cycle (the cold path: page-table install and
-// evict plus run-granular disk billing). The end-to-end rows are ~80%
-// raw memclr/memcpy, so a 2x regression in the engine would move them
-// under the guard's threshold while host memory bandwidth differences
-// trip it; the engine-only rows measure exactly the machinery this
-// guard protects.
-var guardBenchNames = []string{"cache_warm_read_64k", "cache_miss_evict"}
+// evict plus run-granular disk billing), and the per-record streaming
+// decode of both trace encodings (the out-of-core pipeline's inner
+// loop). The end-to-end rows are ~80% raw memclr/memcpy, so a 2x
+// regression in the engine would move them under the guard's threshold
+// while host memory bandwidth differences trip it; the guarded rows
+// measure exactly the machinery this guard protects. replay_stream is
+// not guarded: it folds in simulated-engine work whose wall cost tracks
+// scheduler noise across hosts.
+var guardBenchNames = []string{"cache_warm_read_64k", "cache_miss_evict", "trace_decode_v1", "trace_decode_v2"}
 
 func hotPathBenches() []hotPathRow {
 	warmStore := func(sparse bool) (fsim.File, []byte) {
@@ -289,7 +315,111 @@ func hotPathBenches() []hotPathRow {
 			}
 		}
 	})))
+
+	// Trace-pipeline rows, all normalized per record. trace_decode_v1/v2
+	// time the streaming Scanner over an in-memory encoding of an
+	// 8-worker Parallel trace (re-scanned from the top until b.N records
+	// have been consumed, so block framing and header parsing are in the
+	// measurement); both decode paths are pinned at 0 allocs/record by
+	// TestScannerZeroAlloc. replay_stream is the full out-of-core path —
+	// v2 decode, per-PID channel routing, session-lane simulation,
+	// streaming aggregation, merge — so its per-record cost sits well
+	// above the bare decode rows.
+	tparams := tracegen.Params{SampleFile: "sample.dat", FileSize: 32 << 20, Requests: 8192, Workers: 8}
+	ttr, err := tracegen.Generate("Parallel", tparams)
+	if err != nil {
+		fatal(err)
+	}
+	var v1enc, v2enc bytes.Buffer
+	if err := trace.Write(&v1enc, ttr); err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteV2(&v2enc, ttr); err != nil {
+		fatal(err)
+	}
+	scanRow := func(name string, data []byte) {
+		rows = append(rows, row(name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; {
+				sc, err := trace.NewScanner(bytes.NewReader(data))
+				if err != nil {
+					fatal(err)
+				}
+				for i < b.N && sc.Next() {
+					i++
+				}
+				if err := sc.Err(); err != nil {
+					fatal(err)
+				}
+			}
+		})))
+	}
+	scanRow("trace_decode_v1", v1enc.Bytes())
+	scanRow("trace_decode_v2", v2enc.Bytes())
+
+	scfg := fsim.DefaultConfig()
+	scfg.Cache.Shards = 8
+	scfg.Cache.WritebackThreshold = 8
+	sstore := fsim.MustNewFileStore(scfg)
+	srp := tracesim.NewReplayer(sstore)
+	srp.SampleFileSize = tparams.FileSize
+	srp.StreamAggregate = true
+	records := int64(len(ttr.Records))
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc, err := trace.NewScanner(bytes.NewReader(v2enc.Bytes()))
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := srp.ReplayStream("Parallel", sc); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	rows = append(rows, hotPathRow{
+		Name:        "replay_stream",
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N) / float64(records),
+		AllocsPerOp: res.AllocsPerOp() / records,
+	})
+	sstore.Close()
 	return rows
+}
+
+// traceFormatRows measures the encoded bytes/record of both trace
+// encodings on the two composite workloads. Parallel is the best case
+// for the columnar deltas (per-worker sequential runs); Mixed
+// interleaves five apps' access patterns, so its offset deltas jump
+// more and the v2 rows land a little higher.
+func traceFormatRows(fileSize int64) []traceFormatRow {
+	var out []traceFormatRow
+	for _, app := range []string{"Parallel", "Mixed"} {
+		tr, err := tracegen.Generate(app, tracegen.Params{
+			SampleFile: "sample.dat", FileSize: fileSize, Requests: 4096, Workers: 8,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var v1enc, v2enc bytes.Buffer
+		if err := trace.Write(&v1enc, tr); err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteV2(&v2enc, tr); err != nil {
+			fatal(err)
+		}
+		n := len(tr.Records)
+		for _, enc := range []struct {
+			version string
+			size    int
+		}{{"v1", v1enc.Len()}, {"v2", v2enc.Len()}} {
+			out = append(out, traceFormatRow{
+				App: app, Version: enc.version,
+				Records: n, Bytes: enc.size,
+				BytesPerRecord: float64(enc.size) / float64(n),
+			})
+		}
+	}
+	return out
 }
 
 func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, queue fsim.DiskQueueMode, fileSize int64, requests int) (*tracesim.Report, *fsim.FileStore, time.Duration, error) {
@@ -347,7 +477,7 @@ func loadBaselineHotPath(path string) map[string]float64 {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_6.json", "output path (\"-\" for stdout)")
+		out      = flag.String("out", "BENCH_7.json", "output path (\"-\" for stdout)")
 		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if an engine-only guarded row regresses >25%")
 		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
 		requests = flag.Int("requests", 256, "total reads across workers")
@@ -373,6 +503,7 @@ func main() {
 	for i := range rep.HotPath {
 		rep.HotPath[i].BaselineNsPerOp = baseRows[rep.HotPath[i].Name]
 	}
+	rep.TraceFormat = traceFormatRows(*fileSize)
 
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {

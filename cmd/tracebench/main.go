@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
@@ -40,6 +41,7 @@ func main() {
 		tables     = flag.Bool("tables", false, "regenerate the paper's Tables 1-4 and exit")
 		perReq     = flag.Bool("requests-detail", false, "print per-request rows")
 		concurrent = flag.Bool("concurrent", false, "replay with one goroutine per traced process")
+		stream     = flag.Bool("stream", false, "replay out of core: decode records straight off the trace stream into per-process worker queues (implies concurrent; private disk-queue mode only)")
 		dump       = flag.Bool("dump", false, "print the trace in text form instead of replaying")
 		paced      = flag.Bool("paced", false, "honour the trace's wall-clock stamps as think time")
 		shards     = flag.Int("shards", 1, "page-cache lock stripes (power of two); 0 = derive from GOMAXPROCS")
@@ -78,6 +80,22 @@ func main() {
 	var tr *trace.Trace
 	var name string
 	switch {
+	case *stream:
+		// Out-of-core mode: the trace is never materialized. Decide the
+		// source here; the scanner is opened at replay time.
+		if *dump || *sweep {
+			fatal(fmt.Errorf("-stream replays out of core; drop -dump/-sweep"))
+		}
+		switch {
+		case *tracePath != "":
+			name = *tracePath
+		case *app != "":
+			name = *app
+		default:
+			fmt.Fprintln(os.Stderr, "tracebench: -stream needs -app or -trace")
+			flag.Usage()
+			os.Exit(2)
+		}
 	case *tracePath != "":
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -173,17 +191,33 @@ func main() {
 	rp.SampleFileSize = *fileSize
 	rp.Paced = *paced
 	var rep *tracesim.Report
-	if *concurrent {
+	var replayed int64
+	switch {
+	case *stream:
+		var sc *trace.Scanner
+		var done func() error
+		sc, done, err = openScanner(*tracePath, name, params)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err = rp.ReplayStream(name, sc)
+		if cerr := done(); err == nil {
+			err = cerr
+		}
+		replayed = sc.Count()
+	case *concurrent:
 		rep, err = rp.ReplayConcurrent(name, tr)
-	} else {
+		replayed = int64(len(tr.Records))
+	default:
 		rep, err = rp.Replay(name, tr)
+		replayed = int64(len(tr.Records))
 	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(rep.Table().Render())
-	fmt.Printf("replayed %d records in %v (simulated elapsed time)\n", len(tr.Records), rep.Elapsed)
-	if *concurrent && rep.WorkerTime > rep.Elapsed {
+	fmt.Printf("replayed %d records in %v (simulated elapsed time)\n", replayed, rep.Elapsed)
+	if (*concurrent || *stream) && rep.WorkerTime > rep.Elapsed {
 		fmt.Printf("worker time %v overlapped %.2fx across lanes\n",
 			rep.WorkerTime, float64(rep.WorkerTime)/float64(rep.Elapsed))
 	}
@@ -212,6 +246,37 @@ func main() {
 				r.Index, r.Op, r.Size, r.SeekMS, r.ReadMS, r.WriteMS)
 		}
 	}
+}
+
+// openScanner returns the -stream mode record source: a scanner over
+// the trace file when one was given, else over a pipe fed by the
+// streaming generator encoding v2 on the fly — either way no record
+// slice ever exists. done must be called after the replay drains the
+// scanner; it surfaces the source's close/generate error.
+func openScanner(tracePath, app string, params tracegen.Params) (*trace.Scanner, func() error, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc, err := trace.NewScanner(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return sc, f.Close, nil
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := tracegen.EncodeV2(pw, app, params)
+		pw.CloseWithError(err)
+	}()
+	sc, err := trace.NewScanner(pr)
+	if err != nil {
+		pr.Close()
+		return nil, nil, err
+	}
+	return sc, func() error { return pr.Close() }, nil
 }
 
 // resolveShards maps the -shards flag to a stripe count: 0 derives from

@@ -1,13 +1,20 @@
-// Tracegen writes the five synthetic application traces (Dmine, Pgrep,
-// LU, Titan, Cholesky) to disk in the UMDT binary format, for use with
-// tracebench -trace.
+// Tracegen writes synthetic application traces (Dmine, Pgrep, LU,
+// Titan, Cholesky, plus the Parallel and Mixed composites) to disk in
+// the UMDT binary format, for use with tracebench -trace.
+//
+// v2 output streams generator → encoder → file, so multi-GB fixtures
+// author in constant memory; v1 (the fixed-width legacy format)
+// materializes the trace because its header carries the record count up
+// front.
 //
 // Usage:
 //
 //	tracegen -out ./traces -filesize 1073741824
+//	tracegen -app Parallel -records 100000000 -format v2 -out ./traces
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -23,37 +30,80 @@ func main() {
 		out      = flag.String("out", ".", "output directory")
 		fileSize = flag.Int64("filesize", 1<<30, "sample file size in bytes")
 		requests = flag.Int("requests", 0, "request count override (0 = per-app default)")
+		records  = flag.Int("records", 0, "approximate record-count target; wins over -requests (data records dominate, so the request count is set to it)")
 		sample   = flag.String("sample", "sample-1gb.dat", "sample file name recorded in the header")
+		format   = flag.String("format", "v1", "trace encoding: v1 (48 B/record fixed-width) | v2 (columnar, streamed)")
+		app      = flag.String("app", "", "single application to generate (Dmine, Pgrep, LU, Titan, Cholesky, Parallel, Mixed); default: the five paper apps")
+		workers  = flag.Int("workers", 0, "worker processes for -app Parallel (0 = its default)")
 	)
 	flag.Parse()
 
-	params := tracegen.Params{SampleFile: *sample, FileSize: *fileSize, Requests: *requests}
-	traces, err := tracegen.All(params)
-	if err != nil {
-		fatal(err)
+	if *format != "v1" && *format != "v2" {
+		fatal(fmt.Errorf("unknown format %q (want v1 or v2)", *format))
 	}
+	reqs := *requests
+	if *records > 0 {
+		reqs = *records
+	}
+	params := tracegen.Params{SampleFile: *sample, FileSize: *fileSize, Requests: reqs, Workers: *workers}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	for _, name := range tracegen.AppNames {
-		tr := traces[name]
+
+	apps := tracegen.AppNames
+	if *app != "" {
+		apps = []string{*app}
+	}
+	for _, name := range apps {
 		path := filepath.Join(*out, strings.ToLower(name)+".trace")
-		f, err := os.Create(path)
+		n, size, err := writeTrace(path, name, params, *format)
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.Write(f, tr); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		stats := trace.ComputeStats(tr)
-		fmt.Printf("%-10s -> %s (%d records, %d reads, %d writes, %d seeks)\n",
-			name, path, len(tr.Records),
-			stats.Ops[trace.OpRead], stats.Ops[trace.OpWrite], stats.Ops[trace.OpSeek])
+		fmt.Printf("%-10s -> %s (%s, %d records, %.1f bytes/record)\n",
+			name, path, *format, n, float64(size)/float64(n))
 	}
+}
+
+// writeTrace authors one application's trace at path, returning the
+// record count and encoded byte size.
+func writeTrace(path, app string, p tracegen.Params, format string) (int64, int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	var n int64
+	if format == "v2" {
+		// Streamed: records flow straight to disk.
+		bw := bufio.NewWriterSize(f, 1<<20)
+		h, err := tracegen.EncodeV2(bw, app, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := bw.Flush(); err != nil {
+			return 0, 0, err
+		}
+		n = int64(h.NumRecords)
+	} else {
+		tr, err := tracegen.Generate(app, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := trace.Write(f, tr); err != nil {
+			return 0, 0, err
+		}
+		n = int64(len(tr.Records))
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, info.Size(), nil
 }
 
 func fatal(err error) {

@@ -1,16 +1,29 @@
-// Outofcore demonstrates the trace pipeline end to end on the paper's
-// out-of-core LU decomposition workload: synthesize the trace, write it
-// to disk in the UMDT format, read it back, replay it against the
-// simulated file store, and inspect both the per-operation report and
-// the cache/disk statistics underneath.
+// Outofcore demonstrates the out-of-core trace pipeline: a v2
+// (columnar) trace streams generator → encoder → pipe → Scanner →
+// ReplayStream without ever materializing the record set, so peak heap
+// stays flat no matter how many records flow through. The trace is
+// synthesized on the fly, but the pipe carries the exact bytes a
+// tracegen-authored file would — swap the generator goroutine for
+// os.Open and nothing downstream changes.
 //
-//	go run ./examples/outofcore
+//	go run ./examples/outofcore                     # 1M records, ~seconds
+//	go run ./examples/outofcore -records 100000000  # 100M records, same heap
+//
+// Run it at 1e6 and again at 1e8: records/sec and bytes/record hold,
+// and peak HeapAlloc is independent of -records — the decode loop is
+// 0 allocs/record and the replay retains only histograms plus a fixed
+// reservoir of sample rows, not the per-request table.
 package main
 
 import (
-	"bytes"
+	"bufio"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fsim"
 	"repro/internal/trace"
@@ -18,58 +31,115 @@ import (
 	"repro/internal/tracesim"
 )
 
+// countWriter counts the encoded bytes crossing the pipe, so the demo
+// can report the on-the-wire bytes/record of the columnar format.
+type countWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
 func main() {
-	// 1. Synthesize the LU trace: six seeks to 60-66 MB panel offsets,
-	// each followed by a panel write (Table 3's request set).
-	params := tracegen.DefaultParams()
-	tr, err := tracegen.LU(params)
+	records := flag.Int("records", 1_000_000, "approximate record count to stream")
+	workers := flag.Int("workers", 8, "Parallel workload worker processes")
+	flag.Parse()
+
+	params := tracegen.Params{
+		SampleFile: "sample-1gb.dat",
+		FileSize:   1 << 30,
+		Requests:   *records,
+		Workers:    *workers,
+	}
+
+	// Producer side: the generator streams records straight into the v2
+	// encoder, which frames them into columnar blocks on the pipe. No
+	// []Record ever exists; a trace file on disk would plug in here.
+	pr, pw := io.Pipe()
+	cw := &countWriter{w: pw}
+	go func() {
+		bw := bufio.NewWriterSize(cw, 1<<20)
+		_, err := tracegen.EncodeV2(bw, "Parallel", params)
+		if err == nil {
+			err = bw.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+
+	// Consumer side: the Scanner decodes blocks as they arrive and
+	// ReplayStream fans records out to per-PID session lanes.
+	// StreamAggregate keeps the report bounded too — per-op latency
+	// histograms plus a fixed-size reservoir of sample rows instead of
+	// one row per request.
+	sc, err := trace.NewScanner(bufio.NewReaderSize(pr, 1<<20))
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := trace.ComputeStats(tr)
-	fmt.Printf("LU trace: %d records (%d seeks, %d writes) against %s\n",
-		len(tr.Records), stats.Ops[trace.OpSeek], stats.Ops[trace.OpWrite],
-		tr.Header.SampleFile)
-
-	// 2. Round-trip through the binary format, as a tool pipeline would.
-	var buf bytes.Buffer
-	if err := trace.Write(&buf, tr); err != nil {
-		log.Fatal(err)
-	}
-	loaded, err := trace.Read(&buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("encoded %d bytes, decoded %d records back\n\n", buf.Len(), len(loaded.Records))
-
-	// 3. Replay on the simulated store (1 GB sparse sample file).
 	store, err := fsim.NewFileStore(fsim.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer store.Close()
 	rp := tracesim.NewReplayer(store)
 	rp.SampleFileSize = params.FileSize
-	rep, err := rp.Replay("LU", loaded)
+	rp.StreamAggregate = true
+
+	// Sample peak HeapAlloc while the pipeline runs: the number to watch
+	// when comparing -records 1000000 against -records 100000000.
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	rep, err := rp.ReplayStream("Parallel", sc)
+	wall := time.Since(start)
+	close(stop)
+	<-sampled
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rep.Table().Render())
 
-	// 4. Per-request rows — the shape of the paper's Table 3.
-	fmt.Println("per-request detail:")
-	for _, r := range rep.Requests {
-		if r.Op != trace.OpSeek {
-			continue
-		}
-		fmt.Printf("  seek to %-10d  %.6f ms\n", r.Size, r.SeekMS)
+	var finalMS runtime.MemStats
+	runtime.ReadMemStats(&finalMS)
+	if finalMS.HeapAlloc > peak {
+		peak = finalMS.HeapAlloc
 	}
-	fmt.Println()
 
-	// 5. The substrate's view: cache hits and disk traffic.
-	cs := store.Cache().Stats()
-	ds := store.Array().TotalStats()
-	fmt.Printf("cache: %d hits, %d misses (%.1f%% hit rate), %d pages prefetched\n",
-		cs.Hits, cs.Misses, cs.HitRate()*100, cs.PrefetchedIn)
-	fmt.Printf("disk:  %d reads, %d writes, %d MB in, %d MB out\n",
-		ds.Reads, ds.Writes, ds.BytesRead>>20, ds.BytesWritten>>20)
+	encoded := cw.n.Load()
+	fmt.Printf("streamed   %d records (%d requests) through a %d-byte pipe\n",
+		sc.Count(), rep.TotalRequests, encoded)
+	fmt.Printf("format     v2 columnar, %.1f bytes/record (v1 fixed-width: 48.0)\n",
+		float64(encoded)/float64(sc.Count()))
+	fmt.Printf("wall       %v (%.0f records/sec)\n",
+		wall.Round(time.Millisecond), float64(sc.Count())/wall.Seconds())
+	fmt.Printf("peak heap  %.1f MB (independent of -records)\n\n", float64(peak)/(1<<20))
+
+	fmt.Println(rep.Table().Render())
+	fmt.Printf("reads %d (mean %.4f ms)  writes %d (mean %.4f ms)  sim elapsed %v\n",
+		rep.Read.N(), rep.Read.Mean(), rep.Write.N(), rep.Write.Mean(), rep.Elapsed)
+	fmt.Printf("retained rows: %d of %d requests (reservoir sample; histograms carry every observation)\n",
+		len(rep.Requests), rep.TotalRequests)
+	fmt.Printf("read latency p50/p99: %.4f/%.4f ms over %d observations\n",
+		rep.ReadHist.Quantile(0.50), rep.ReadHist.Quantile(0.99), rep.ReadHist.Total())
 }

@@ -68,6 +68,23 @@ func (h *Histogram) AddDuration(d time.Duration) {
 	h.Add(float64(d) / float64(time.Millisecond))
 }
 
+// Merge folds other's observations into h. The histograms must share a
+// shape (min, growth, bucket count); shapes are programmer input, so a
+// mismatch panics like an invalid construction would.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.min != other.min || h.growth != other.growth || len(h.counts) != len(other.counts) {
+		panic(fmt.Sprintf("metrics: merging histograms of different shapes (min %v/%v growth %v/%v buckets %d/%d)",
+			h.min, other.min, h.growth, other.growth, len(h.counts), len(other.counts)))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int64 { return h.total }
 

@@ -89,10 +89,10 @@ type Stats struct {
 	AsyncDispatches int64
 	// Batches is the subset of dispatches that were ServeBatch sweeps.
 	Batches int64
-	// QueueDelay accumulates, over synchronous dispatches, the time an
-	// entry spent waiting behind other lanes' work: completion minus
-	// arrival minus pure service. This is the contention the private
-	// model could not see.
+	// QueueDelay accumulates, over every queued dispatch (sync and
+	// async alike), the time an entry spent waiting behind other lanes'
+	// work: completion minus arrival minus pure service. This is the
+	// contention the private model could not see.
 	QueueDelay time.Duration
 	// MaxPending is the high-water mark of the pending set.
 	MaxPending int
@@ -609,10 +609,14 @@ func (q *Queue) serveLocked(e *entry) {
 	q.stats.Dispatches++
 	if e.sync {
 		q.stats.SyncDispatches++
-		if w := e.done.Sub(e.arrival) - e.service; w > 0 {
-			q.stats.QueueDelay += w
-		}
 	} else {
 		q.stats.AsyncDispatches++
+	}
+	// Async (write-back) submissions wait behind other lanes' work just
+	// like sync ones do — the delay lands on the flusher instead of a
+	// blocked reader, but it is contention all the same, so both kinds
+	// accrue. Inline sole-lane serves never wait and add nothing.
+	if w := e.done.Sub(e.arrival) - e.service; w > 0 {
+		q.stats.QueueDelay += w
 	}
 }

@@ -264,6 +264,39 @@ func TestBlockingContentionIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestAsyncDispatchAccruesQueueDelay pins the stat fix: an async
+// (write-back style) submission that waits behind another lane's work
+// contributes its wait to QueueDelay just like a blocked sync one —
+// read-heavy contended runs used to report "queue delay 0s" because
+// only sync dispatches accrued.
+func TestAsyncDispatchAccruesQueueDelay(t *testing.T) {
+	q := MustNew(simdisk.MustNew(simdisk.MemoryBackedParams()), simdisk.FCFS)
+	a := q.NewLane(t0)
+	b := q.NewLane(t0)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// A long transfer that occupies the device first (FCFS ties break
+		// by lane order).
+		a.Access(t0.Add(time.Millisecond), simdisk.Request{Offset: 0, Length: 1 << 20})
+		a.Park()
+	}()
+	go func() {
+		defer wg.Done()
+		b.AccessAsync(t0.Add(time.Millisecond), simdisk.Request{Offset: 1 << 30, Length: 1 << 20, Write: true})
+		b.Park()
+	}()
+	wg.Wait()
+	st := q.Stats()
+	if st.AsyncDispatches == 0 {
+		t.Fatalf("async submission never dispatched: %+v", st)
+	}
+	if st.QueueDelay <= 0 {
+		t.Fatalf("async dispatch behind a busy device accrued no queue delay: %+v", st)
+	}
+}
+
 // TestReleaseServesLeftovers pins Release semantics: a lane's pending
 // async entries survive its release and are served once nothing gates.
 func TestReleaseServesLeftovers(t *testing.T) {

@@ -1,0 +1,424 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Scanner streams records out of a trace without materializing it. It
+// auto-detects the encoding from the header (v1 fixed-width records or
+// v2 columnar blocks) and yields records through a reused block buffer:
+// after the per-PID predictor map and block buffers warm up, Next
+// performs zero allocations per record, so a billion-record trace scans
+// in constant memory.
+//
+//	sc, err := trace.NewScanner(f)
+//	for sc.Next() {
+//		rec := sc.Record() // valid until the next call to Next
+//	}
+//	if err := sc.Err(); err != nil { ... }
+//
+// When the underlying reader is an io.Seeker (a file), the v1 header is
+// additionally checked against the stream's actual size before any
+// record decodes, so a corrupt record count fails fast instead of at
+// record N.
+type Scanner struct {
+	br  *bufio.Reader
+	h   Header
+	ver uint32
+
+	// v1: records remaining per the (validated) header count.
+	left int64
+
+	// v2 state.
+	block    []Record
+	idx      int
+	payload  []byte
+	preds    map[uint32]*predictor
+	blockIdx int
+
+	cur   *Record
+	rec   Record           // v1 decode target, reused
+	v1buf [recordSize]byte // v1 read buffer; a field so it never escapes per call
+	total int64
+	done  bool
+	err   error
+}
+
+// streamSize returns the bytes remaining in r when r can tell (an
+// io.Seeker at its current position), else -1.
+func streamSize(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
+
+// NewScanner reads and validates the header and returns a scanner
+// positioned at the first record.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	size := streamSize(r)
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, errBadMagic
+	}
+	var ver, nproc, nfiles, nrec, recOff uint32
+	for _, p := range []*uint32{&ver, &nproc, &nfiles, &nrec, &recOff} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if ver != version && ver != version2 {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading sample file name: %w", err)
+	}
+	// The record offset is redundant with the header layout; a mismatch
+	// means the header was hand-edited or corrupted.
+	if want := uint32(headerFixedSize) + uint32(nameLen); recOff != want {
+		return nil, fmt.Errorf("trace: header record offset %d, want %d (actual header size)", recOff, want)
+	}
+	sc := &Scanner{
+		br:  br,
+		ver: ver,
+		h: Header{
+			NumProcesses: nproc,
+			NumFiles:     nfiles,
+			NumRecords:   nrec,
+			RecordOffset: recOff,
+			SampleFile:   string(name),
+		},
+	}
+	if ver == version {
+		// v1 records are fixed-size, so a sizable stream must agree with
+		// the declared count exactly — reject corrupt counts (and trailing
+		// garbage) before decoding a single record.
+		if size >= 0 {
+			got := size - int64(recOff)
+			want := int64(nrec) * recordSize
+			if got != want {
+				return nil, fmt.Errorf("trace: v1 header declares %d records (%d bytes), stream carries %d record bytes",
+					nrec, want, got)
+			}
+		}
+		sc.left = int64(nrec)
+	} else {
+		sc.preds = make(map[uint32]*predictor)
+	}
+	return sc, nil
+}
+
+// Header returns the trace header. For a streamed v2 trace the record
+// count may be zero ("unknown"); Count holds the running total.
+func (s *Scanner) Header() Header { return s.h }
+
+// Version returns the detected format version (1 or 2).
+func (s *Scanner) Version() int { return int(s.ver) }
+
+// Count returns the number of records yielded so far.
+func (s *Scanner) Count() int64 { return s.total }
+
+// Err returns the first error the scan hit, nil at a clean end of trace.
+func (s *Scanner) Err() error { return s.err }
+
+// Record returns the current record. The pointer is only valid until the
+// next call to Next; callers that keep records copy them.
+func (s *Scanner) Record() *Record { return s.cur }
+
+// Next advances to the next record, returning false at end of trace or
+// on error (check Err).
+func (s *Scanner) Next() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.ver == version {
+		return s.nextV1()
+	}
+	return s.nextV2()
+}
+
+func (s *Scanner) nextV1() bool {
+	if s.left == 0 {
+		s.done = true
+		return false
+	}
+	buf := s.v1buf[:]
+	if _, err := io.ReadFull(s.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		s.err = fmt.Errorf("trace: reading record %d: %w", s.total, err)
+		return false
+	}
+	s.rec = Record{
+		Op:        Op(buf[0]),
+		Count:     binary.LittleEndian.Uint32(buf[4:]),
+		PID:       binary.LittleEndian.Uint32(buf[8:]),
+		Field:     binary.LittleEndian.Uint32(buf[12:]),
+		WallClock: int64(binary.LittleEndian.Uint64(buf[16:])),
+		ProcClock: int64(binary.LittleEndian.Uint64(buf[24:])),
+		Offset:    int64(binary.LittleEndian.Uint64(buf[32:])),
+		Length:    int64(binary.LittleEndian.Uint64(buf[40:])),
+	}
+	s.cur = &s.rec
+	s.left--
+	s.total++
+	return true
+}
+
+func (s *Scanner) nextV2() bool {
+	for s.idx >= len(s.block) {
+		if !s.readBlock() {
+			return false
+		}
+	}
+	s.cur = &s.block[s.idx]
+	s.idx++
+	s.total++
+	return true
+}
+
+// corrupt records a BlockError at the current block.
+func (s *Scanner) corrupt(err error) bool {
+	s.err = &BlockError{Block: s.blockIdx, Err: err}
+	return false
+}
+
+// readBlock reads and decodes the next v2 frame into s.block, returning
+// false at the end frame (clean) or on error.
+func (s *Scanner) readBlock() bool {
+	var hdr [12]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			// A v2 stream must end with the end frame; a bare EOF here is
+			// a truncated file.
+			err = io.ErrUnexpectedEOF
+		}
+		return s.corrupt(err)
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:])
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	crc := binary.LittleEndian.Uint32(hdr[8:])
+	if payloadLen == 0 && count == 0 {
+		return s.readTrailer(crc)
+	}
+	if payloadLen == 0 || count == 0 {
+		return s.corrupt(fmt.Errorf("frame with %d payload bytes and %d records", payloadLen, count))
+	}
+	if payloadLen > maxBlockPayload {
+		return s.corrupt(fmt.Errorf("payload length %d exceeds limit %d", payloadLen, maxBlockPayload))
+	}
+	if count > maxBlockRecords {
+		return s.corrupt(fmt.Errorf("record count %d exceeds limit %d", count, maxBlockRecords))
+	}
+	if cap(s.payload) < int(payloadLen) {
+		s.payload = make([]byte, payloadLen)
+	}
+	s.payload = s.payload[:payloadLen]
+	if _, err := io.ReadFull(s.br, s.payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return s.corrupt(err)
+	}
+	if got := crc32.ChecksumIEEE(s.payload); got != crc {
+		return s.corrupt(fmt.Errorf("%w: payload CRC %08x, frame says %08x", ErrCRC, got, crc))
+	}
+	if !s.decodeBlock(int(count)) {
+		return false
+	}
+	s.idx = 0
+	s.blockIdx++
+	return true
+}
+
+// readTrailer consumes the end frame's 8-byte total, whose CRC rides in
+// the end frame itself, and cross-checks the declared header count.
+func (s *Scanner) readTrailer(crc uint32) bool {
+	var trailer [8]byte
+	if _, err := io.ReadFull(s.br, trailer[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return s.corrupt(fmt.Errorf("reading trailer: %w", err))
+	}
+	if got := crc32.ChecksumIEEE(trailer[:]); got != crc {
+		return s.corrupt(fmt.Errorf("%w: trailer CRC %08x, end frame says %08x", ErrCRC, got, crc))
+	}
+	declared := binary.LittleEndian.Uint64(trailer[:])
+	if declared != uint64(s.total) {
+		return s.corrupt(fmt.Errorf("trailer declares %d records, stream carried %d", declared, s.total))
+	}
+	if s.h.NumRecords != 0 && uint64(s.h.NumRecords) != declared {
+		return s.corrupt(fmt.Errorf("header declares %d records, trailer %d", s.h.NumRecords, declared))
+	}
+	s.done = true
+	return false
+}
+
+// decodeBlock reconstructs count records from s.payload into s.block.
+func (s *Scanner) decodeBlock(count int) bool {
+	if cap(s.block) < count {
+		s.block = make([]Record, count)
+	}
+	s.block = s.block[:count]
+	recs := s.block
+	payload := s.payload
+	pos := 0
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	if len(payload) < count {
+		return s.corrupt(errors.New("op column truncated"))
+	}
+	for i := 0; i < count; i++ {
+		op := Op(payload[pos])
+		pos++
+		if !op.Valid() {
+			return s.corrupt(fmt.Errorf("record %d: invalid op %d", i, op))
+		}
+		recs[i] = Record{Op: op}
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok || v == 0 || v > math.MaxUint32 {
+			return s.corrupt(fmt.Errorf("record %d: bad count column", i))
+		}
+		recs[i].Count = uint32(v)
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok || v > math.MaxUint32 {
+			return s.corrupt(fmt.Errorf("record %d: bad pid column", i))
+		}
+		recs[i].PID = uint32(v)
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok || v > math.MaxUint32 {
+			return s.corrupt(fmt.Errorf("record %d: bad field column", i))
+		}
+		recs[i].Field = uint32(v)
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok {
+			return s.corrupt(fmt.Errorf("record %d: bad wall-clock column", i))
+		}
+		p := s.pred(recs[i].PID)
+		p.wall += unzigzag(v)
+		recs[i].WallClock = p.wall
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok {
+			return s.corrupt(fmt.Errorf("record %d: bad proc-clock column", i))
+		}
+		p := s.pred(recs[i].PID)
+		p.proc += unzigzag(v)
+		recs[i].ProcClock = p.proc
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok {
+			return s.corrupt(fmt.Errorf("record %d: bad length column", i))
+		}
+		p := s.pred(recs[i].PID)
+		p.length += unzigzag(v)
+		if p.length < 0 {
+			return s.corrupt(fmt.Errorf("record %d: negative length %d", i, p.length))
+		}
+		recs[i].Length = p.length
+	}
+	for i := 0; i < count; i++ {
+		v, ok := uvarint()
+		if !ok {
+			return s.corrupt(fmt.Errorf("record %d: bad offset column", i))
+		}
+		p := s.pred(recs[i].PID)
+		off := p.offset + p.offPrevLen + unzigzag(v)
+		if off < 0 {
+			return s.corrupt(fmt.Errorf("record %d: negative offset %d", i, off))
+		}
+		p.offset = off
+		p.offPrevLen = recs[i].Length
+		recs[i].Offset = off
+	}
+	if pos != len(payload) {
+		return s.corrupt(fmt.Errorf("%d trailing payload bytes after %d records", len(payload)-pos, count))
+	}
+	return true
+}
+
+// pred returns (creating if needed) the decode predictor for pid.
+func (s *Scanner) pred(pid uint32) *predictor {
+	p := s.preds[pid]
+	if p == nil {
+		p = &predictor{}
+		s.preds[pid] = p
+	}
+	return p
+}
+
+// Read decodes a trace — either version — from r and validates it. The
+// whole record set is materialized; use NewScanner to stream instead.
+func Read(r io.Reader) (*Trace, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Header: sc.Header()}
+	// The header's record count is untrusted input: cap the preallocation
+	// so a corrupt count cannot exhaust memory; append grows as records
+	// actually decode.
+	capHint := t.Header.NumRecords
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t.Records = make([]Record, 0, capHint)
+	for sc.Next() {
+		t.Records = append(t.Records, *sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// A streamed v2 header may not have known its count up front; the
+	// scanner's trailer-verified total is authoritative.
+	t.Header.NumRecords = uint32(sc.Count())
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -126,33 +126,19 @@ const (
 	magic      = "UMDT" // University-of-Maryland-style Trace
 	version    = uint32(1)
 	recordSize = 1 + 3 + 4 + 4 + 4 + 8 + 8 + 8 + 8 // op + pad + count + pid + field + clocks + offset + length
+	// headerFixedSize is the fixed header prefix shared by both format
+	// versions: magic + version + nproc + nfiles + nrec + recoff + namelen.
+	headerFixedSize = 4 + 4 + 4 + 4 + 4 + 4 + 2
 )
 
 var errBadMagic = errors.New("trace: bad magic (not a trace file)")
 
-// Write encodes the trace to w. The header's NumRecords and RecordOffset
-// are computed, not trusted.
+// Write encodes the trace to w in the v1 fixed-width format. The
+// header's NumRecords and RecordOffset are computed, not trusted. See
+// WriteV2 for the columnar encoding.
 func Write(w io.Writer, t *Trace) error {
-	name := []byte(t.Header.SampleFile)
-	if len(name) > 0xFFFF {
-		return fmt.Errorf("trace: sample file name too long (%d bytes)", len(name))
-	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
-	}
-	// Fixed-size header prefix.
-	headerFixed := 4 + 4 + 4 + 4 + 4 + 4 + 2 // magic + version + nproc + nfiles + nrec + recoff + namelen
-	recOff := uint32(headerFixed + len(name))
-	for _, v := range []uint32{version, t.Header.NumProcesses, t.Header.NumFiles, uint32(len(t.Records)), recOff} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(name); err != nil {
+	if err := writeHeader(bw, version, t.Header, uint32(len(t.Records))); err != nil {
 		return err
 	}
 	for i := range t.Records {
@@ -176,78 +162,6 @@ func writeRecord(w io.Writer, r *Record) error {
 	binary.LittleEndian.PutUint64(buf[40:], uint64(r.Length))
 	_, err := w.Write(buf[:])
 	return err
-}
-
-// Read decodes a trace from r and validates it.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(m[:]) != magic {
-		return nil, errBadMagic
-	}
-	var ver, nproc, nfiles, nrec, recOff uint32
-	for _, p := range []*uint32{&ver, &nproc, &nfiles, &nrec, &recOff} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("trace: reading header: %w", err)
-		}
-	}
-	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	var nameLen uint16
-	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading sample file name: %w", err)
-	}
-	t := &Trace{Header: Header{
-		NumProcesses: nproc,
-		NumFiles:     nfiles,
-		NumRecords:   nrec,
-		RecordOffset: recOff,
-		SampleFile:   string(name),
-	}}
-	// The header's record count is untrusted input: cap the preallocation
-	// so a corrupt count cannot exhaust memory; append grows as records
-	// actually decode (truncated input fails on the first short read).
-	capHint := nrec
-	if capHint > 1<<16 {
-		capHint = 1 << 16
-	}
-	t.Records = make([]Record, 0, capHint)
-	for i := uint32(0); i < nrec; i++ {
-		rec, err := readRecord(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
-		}
-		t.Records = append(t.Records, rec)
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	return t, nil
-}
-
-func readRecord(r io.Reader) (Record, error) {
-	var buf [recordSize]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return Record{}, err
-	}
-	return Record{
-		Op:        Op(buf[0]),
-		Count:     binary.LittleEndian.Uint32(buf[4:]),
-		PID:       binary.LittleEndian.Uint32(buf[8:]),
-		Field:     binary.LittleEndian.Uint32(buf[12:]),
-		WallClock: int64(binary.LittleEndian.Uint64(buf[16:])),
-		ProcClock: int64(binary.LittleEndian.Uint64(buf[24:])),
-		Offset:    int64(binary.LittleEndian.Uint64(buf[32:])),
-		Length:    int64(binary.LittleEndian.Uint64(buf[40:])),
-	}, nil
 }
 
 // Stats summarizes a trace's operation mix.

@@ -1,0 +1,408 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// v2Trace builds a multi-PID trace with the shapes the columnar encoding
+// is tuned for: near-sequential offsets, repeated lengths, monotone
+// clocks — plus occasional jumps.
+func v2Trace(n int) *Trace {
+	tr := &Trace{Header: Header{NumProcesses: 4, NumFiles: 1, SampleFile: "v2.dat"}}
+	offs := [4]int64{0, 1 << 28, 2 << 28, 3 << 28}
+	for pid := 0; pid < 4; pid++ {
+		tr.Records = append(tr.Records, Record{Op: OpOpen, Count: 1, PID: uint32(pid)})
+	}
+	for i := 0; i < n; i++ {
+		pid := uint32(i % 4)
+		rec := Record{
+			Op: OpRead, Count: 1, PID: pid,
+			WallClock: int64(i) * 700, ProcClock: int64(i)*700 + 3,
+			Offset: offs[pid], Length: 64 << 10,
+		}
+		if i%37 == 36 { // a seek-style jump
+			rec.Op = OpSeek
+			rec.Length = 0
+			rec.Offset = int64(i) * 12345
+			offs[pid] = rec.Offset
+		} else {
+			offs[pid] += rec.Length
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	for pid := 0; pid < 4; pid++ {
+		tr.Records = append(tr.Records, Record{Op: OpClose, Count: 1, PID: uint32(pid)})
+	}
+	tr.Header.NumRecords = uint32(len(tr.Records))
+	return tr
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	tr := v2Trace(500)
+	var buf bytes.Buffer
+	if err := WriteV2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if v1 := len(tr.Records) * recordSize; buf.Len() >= v1 {
+		t.Fatalf("v2 encoding (%d bytes) not smaller than v1 records (%d bytes)", buf.Len(), v1)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.SampleFile != "v2.dat" || got.Header.NumProcesses != 4 || got.Header.NumFiles != 1 {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("records diverge after round trip")
+	}
+}
+
+// TestV2ScannerSmallBlocks exercises block boundaries and partial final
+// blocks: predictor state must carry across frames.
+func TestV2ScannerSmallBlocks(t *testing.T) {
+	tr := v2Trace(101)
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.BlockRecords = 7
+	for i := range tr.Records {
+		if err := enc.Append(&tr.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Version() != 2 {
+		t.Fatalf("version = %d, want 2", sc.Version())
+	}
+	var got []Record
+	for sc.Next() {
+		got = append(got, *sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr.Records) {
+		t.Fatalf("scanned records diverge (got %d, want %d)", len(got), len(tr.Records))
+	}
+}
+
+// TestV1V2Equivalence is the cross-version property: any valid trace
+// decodes identically from both encodings.
+func TestV1V2Equivalence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Header: Header{NumProcesses: 3, NumFiles: 1, SampleFile: "eq.dat"}}
+		for i := 0; i < int(n)+1; i++ {
+			tr.Records = append(tr.Records, Record{
+				Op:        Op(rng.Intn(5)),
+				Count:     uint32(rng.Intn(9) + 1),
+				PID:       uint32(rng.Intn(3)),
+				Field:     uint32(rng.Intn(4)),
+				WallClock: rng.Int63n(1 << 40),
+				ProcClock: rng.Int63n(1 << 40),
+				Offset:    rng.Int63n(1 << 34),
+				Length:    rng.Int63n(1 << 22),
+			})
+		}
+		tr.Header.NumRecords = uint32(len(tr.Records))
+		var b1, b2 bytes.Buffer
+		if err := Write(&b1, tr); err != nil {
+			return false
+		}
+		if err := WriteV2(&b2, tr); err != nil {
+			return false
+		}
+		d1, err := Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			return false
+		}
+		d2, err := Read(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(d1.Records, d2.Records) &&
+			reflect.DeepEqual(d1.Header, d2.Header)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2StreamedUnknownCount pins the streaming-author path: a header
+// written with a zero record count is completed by the trailer.
+func TestV2StreamedUnknownCount(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{NumProcesses: 1, NumFiles: 1, SampleFile: "s.dat"}
+	enc, err := NewEncoder(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Op: OpOpen, Count: 1},
+		{Op: OpRead, Count: 2, Offset: 0, Length: 4096},
+		{Op: OpClose, Count: 1},
+	}
+	for i := range recs {
+		if err := enc.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.NumRecords != 3 || len(got.Records) != 3 {
+		t.Fatalf("streamed header count = %d (%d records), want 3", got.Header.NumRecords, len(got.Records))
+	}
+}
+
+func TestEncoderRejectsInvalidRecords(t *testing.T) {
+	bad := []Record{
+		{Op: Op(9), Count: 1},
+		{Op: OpRead, Count: 0},
+		{Op: OpRead, Count: 1, Offset: -1},
+		{Op: OpRead, Count: 1, Length: -1},
+	}
+	for i, rec := range bad {
+		enc, err := NewEncoder(&bytes.Buffer{}, Header{SampleFile: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Append(&rec); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+	}
+}
+
+func TestEncoderDeclaredCountEnforced(t *testing.T) {
+	enc, err := NewEncoder(&bytes.Buffer{}, Header{SampleFile: "x", NumRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Op: OpOpen, Count: 1}
+	if err := enc.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err == nil {
+		t.Fatal("declared-count mismatch accepted at Close")
+	}
+}
+
+// TestV2CorruptionTyped pins the typed error contract: corruption inside
+// the stream surfaces as a *BlockError carrying the failing block index.
+func TestV2CorruptionTyped(t *testing.T) {
+	tr := v2Trace(300)
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, tr.Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.BlockRecords = 64
+	for i := range tr.Records {
+		if err := enc.Append(&tr.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	scanAll := func(data []byte) error {
+		sc, err := NewScanner(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		for sc.Next() {
+		}
+		return sc.Err()
+	}
+
+	t.Run("crc flip", func(t *testing.T) {
+		mut := append([]byte(nil), full...)
+		// Flip a byte inside the second block's payload. The first frame
+		// starts right after the header.
+		hdrEnd := int(headerFixedSize) + len(tr.Header.SampleFile)
+		firstLen := int(uint32(mut[hdrEnd]) | uint32(mut[hdrEnd+1])<<8 | uint32(mut[hdrEnd+2])<<16 | uint32(mut[hdrEnd+3])<<24)
+		secondPayload := hdrEnd + 12 + firstLen + 12
+		mut[secondPayload+5] ^= 0xFF
+		err := scanAll(mut)
+		var be *BlockError
+		if !errors.As(err, &be) {
+			t.Fatalf("err = %v, want *BlockError", err)
+		}
+		if be.Block != 1 {
+			t.Fatalf("failing block = %d, want 1", be.Block)
+		}
+		if !errors.Is(err, ErrCRC) {
+			t.Fatalf("err = %v, want ErrCRC", err)
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{len(full) - 3, len(full) - 21, len(full) / 2} {
+			err := scanAll(full[:cut])
+			var be *BlockError
+			if !errors.As(err, &be) {
+				t.Fatalf("cut %d: err = %v, want *BlockError", cut, err)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+	})
+
+	t.Run("trailer count mismatch", func(t *testing.T) {
+		mut := append([]byte(nil), full...)
+		// The trailer's 8 count bytes are the last 8; its CRC sits in the
+		// end frame before them, so a count edit must break the CRC.
+		mut[len(mut)-8]++
+		if err := scanAll(mut); !errors.Is(err, ErrCRC) {
+			t.Fatalf("err = %v, want ErrCRC", err)
+		}
+	})
+}
+
+// TestV1HeaderHardening pins the fail-fast checks: a v1 header whose
+// record offset or record count disagrees with the actual bytes is
+// rejected before any record decodes.
+func TestV1HeaderHardening(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("record offset mismatch", func(t *testing.T) {
+		mut := append([]byte(nil), full...)
+		mut[20]++ // recOff low byte
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatal("bad record offset accepted")
+		}
+	})
+
+	t.Run("count vs size mismatch", func(t *testing.T) {
+		// Stream is seekable, so the count/size disagreement is caught at
+		// NewScanner, before record decoding.
+		mut := append([]byte(nil), full...)
+		mut[16]++ // nrec low byte: declares one more record than present
+		_, err := NewScanner(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatal("count/size mismatch accepted")
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), full...), 0xAB)
+		if _, err := NewScanner(bytes.NewReader(mut)); err == nil {
+			t.Fatal("trailing garbage accepted on a seekable v1 stream")
+		}
+	})
+}
+
+// TestScannerZeroAlloc pins the decode hot loop at zero allocations per
+// record, steady state, for both format versions — the same contract the
+// engine rows carry.
+func TestScannerZeroAlloc(t *testing.T) {
+	tr := v2Trace(120000)
+	for _, tc := range []struct {
+		name   string
+		encode func(io.Writer, *Trace) error
+	}{
+		{"v1", Write},
+		{"v2", WriteV2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.encode(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up past several block boundaries so buffers and the
+			// predictor map reach steady state.
+			for i := 0; i < 20000; i++ {
+				if !sc.Next() {
+					t.Fatal("trace exhausted during warmup")
+				}
+			}
+			var sink int64
+			allocs := testing.AllocsPerRun(80000, func() {
+				if !sc.Next() {
+					t.Fatal("trace exhausted during measurement")
+				}
+				sink += sc.Record().Offset
+			})
+			if allocs != 0 {
+				t.Fatalf("%v allocs/record, want 0", allocs)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkScanV1(b *testing.B) {
+	benchScan(b, Write)
+}
+
+func BenchmarkScanV2(b *testing.B) {
+	benchScan(b, WriteV2)
+}
+
+// benchScan measures streaming decode; ns/op is per record.
+func benchScan(b *testing.B, encode func(io.Writer, *Trace) error) {
+	tr := v2Trace(4096)
+	var buf bytes.Buffer
+	if err := encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	n := len(tr.Records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		sc, err := NewScanner(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for sc.Next() {
+			i++
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		_ = n
+	}
+}
+
+func BenchmarkEncodeV2(b *testing.B) {
+	tr := v2Trace(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += len(tr.Records) {
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package tracegen
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStreamMatchesGenerate is the streaming-emitter contract: Stream
+// yields exactly the record sequence Generate materializes, for every
+// application and the mix.
+func TestStreamMatchesGenerate(t *testing.T) {
+	apps := append(append([]string{}, AppNames...), "Parallel", "Mixed")
+	p := DefaultParams()
+	p.FileSize = 64 << 20
+	p.Requests = 96
+	for _, app := range apps {
+		t.Run(app, func(t *testing.T) {
+			want, err := Generate(app, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []trace.Record
+			h, err := Stream(app, p, func(r *trace.Record) error {
+				got = append(got, *r)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want.Records) {
+				t.Fatalf("streamed records diverge from Generate (%d vs %d records)", len(got), len(want.Records))
+			}
+			if h != want.Header {
+				t.Fatalf("streamed header %+v, Generate header %+v", h, want.Header)
+			}
+		})
+	}
+}
+
+// TestStreamToEncoder pins the out-of-core authoring path: Stream
+// feeding trace.Encoder produces v2 bytes that decode back to the
+// materialized trace.
+func TestStreamToEncoder(t *testing.T) {
+	p := DefaultParams()
+	p.FileSize = 32 << 20
+	p.Requests = 64
+	p.Workers = 8
+	want, err := Parallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc, err := trace.NewEncoder(&buf, trace.Header{
+		NumProcesses: uint32(p.Workers), NumFiles: 1, SampleFile: p.SampleFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream("Parallel", p, enc.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Fatal("encoded stream decodes to different records")
+	}
+}
+
+// TestStreamEmitError checks that an emit failure aborts generation and
+// surfaces verbatim.
+func TestStreamEmitError(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	_, err := Stream("Dmine", DefaultParams(), func(*trace.Record) error {
+		n++
+		if n == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n != 5 {
+		t.Fatalf("generation continued after emit error (%d emits)", n)
+	}
+}

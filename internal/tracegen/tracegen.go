@@ -15,10 +15,19 @@
 // Titan's 187681-byte average reads), and the op mix (synchronous reads,
 // seek-then-write, open/close pairs) follows §3.4's description. All
 // generators are deterministic.
+//
+// Every generator is written against a record sink, so traces stream:
+// Stream emits records one at a time to a callback (the out-of-core
+// authoring path — a billion-record trace never exists as a slice), and
+// the named constructors (Dmine, Parallel, ...) collect the same record
+// sequence into a *trace.Trace.
 package tracegen
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"iter"
 
 	"repro/internal/trace"
 )
@@ -80,13 +89,92 @@ func clampOffset(off, length, fileSize int64) int64 {
 	return off
 }
 
-// Dmine generates the data-mining trace: synchronous sequential reads of
-// 131072 bytes (Table 1's data size) over the retail data, with a seek
-// between association-rule passes. Default 400 reads in 4 passes.
-func Dmine(p Params) (*trace.Trace, error) {
+// sink receives generated records one at a time. The emit error is
+// sticky: after a failure the generator's remaining add calls are
+// no-ops, so generators need no per-record error plumbing.
+type sink struct {
+	emit func(*trace.Record) error
+	n    int64
+	err  error
+}
+
+func (s *sink) add(r trace.Record) {
+	if s.err != nil {
+		return
+	}
+	if err := s.emit(&r); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// generator is one application's record producer: it pushes the full
+// record sequence into s and returns the trace's process count.
+type generator func(p Params, s *sink) (nproc uint32)
+
+// generators dispatches by application name; Mixed is handled
+// separately (it composes the other generators).
+var generators = map[string]generator{
+	"Dmine":    streamDmine,
+	"Pgrep":    streamPgrep,
+	"LU":       streamLU,
+	"Titan":    streamTitan,
+	"Cholesky": streamCholesky,
+	"Parallel": streamParallel,
+}
+
+// collect materializes a generator's stream as a *trace.Trace.
+func collect(p Params, gen generator) (*trace.Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	var recs []trace.Record
+	s := &sink{emit: func(r *trace.Record) error {
+		recs = append(recs, *r)
+		return nil
+	}}
+	nproc := gen(p, s)
+	if s.err != nil {
+		return nil, s.err
+	}
+	t := &trace.Trace{Header: header(p, nproc, len(recs)), Records: recs}
+	return t, t.Validate()
+}
+
+// Stream generates app's trace record by record, calling emit for each
+// record in trace order — nothing is materialized, so a multi-GB trace
+// can be authored in constant memory (pair it with trace.Encoder to
+// write v2 straight to disk). The returned header carries the emitted
+// record count. A non-nil error from emit aborts generation and is
+// returned verbatim.
+func Stream(app string, p Params, emit func(*trace.Record) error) (trace.Header, error) {
+	if err := p.Validate(); err != nil {
+		return trace.Header{}, err
+	}
+	s := &sink{emit: emit}
+	var nproc uint32
+	if app == "Mixed" {
+		nproc = streamMixed(p, s)
+	} else {
+		gen, ok := generators[app]
+		if !ok {
+			return trace.Header{}, fmt.Errorf("tracegen: unknown application %q (want one of %v)", app, AppNames)
+		}
+		nproc = gen(p, s)
+	}
+	if s.err != nil {
+		return trace.Header{}, s.err
+	}
+	return header(p, nproc, int(s.n)), nil
+}
+
+// Dmine generates the data-mining trace: synchronous sequential reads of
+// 131072 bytes (Table 1's data size) over the retail data, with a seek
+// between association-rule passes. Default 400 reads in 4 passes.
+func Dmine(p Params) (*trace.Trace, error) { return collect(p, streamDmine) }
+
+func streamDmine(p Params, s *sink) uint32 {
 	reads := p.Requests
 	if reads == 0 {
 		reads = 400
@@ -94,16 +182,15 @@ func Dmine(p Params) (*trace.Trace, error) {
 	const readSize = 131072
 	passes := 4
 	perPass := (reads + passes - 1) / passes
-	var recs []trace.Record
-	recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1})
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
 	wall := int64(0)
 	for pass := 0; pass < passes; pass++ {
 		// Each mining pass rescans the data from the start.
-		recs = append(recs, trace.Record{Op: trace.OpSeek, Count: 1, WallClock: wall})
+		s.add(trace.Record{Op: trace.OpSeek, Count: 1, WallClock: wall})
 		off := int64(0)
-		for i := 0; i < perPass && len(recs) < reads+passes+2; i++ {
+		for i := 0; i < perPass && s.n < int64(reads+passes+2); i++ {
 			off = clampOffset(off, readSize, p.FileSize)
-			recs = append(recs, trace.Record{
+			s.add(trace.Record{
 				Op: trace.OpRead, Count: 1, Field: uint32(pass),
 				WallClock: wall, Offset: off, Length: readSize,
 			})
@@ -111,27 +198,24 @@ func Dmine(p Params) (*trace.Trace, error) {
 			wall += 1000
 		}
 	}
-	recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
-	t := &trace.Trace{Header: header(p, 1, len(recs)), Records: recs}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
+	return 1
 }
 
 // Titan generates the remote-sensing database trace: synchronous reads
 // whose sizes average Table 2's 187681 bytes, following the spatial-query
 // pattern of scanning consecutive tiles with occasional jumps between
 // spatial regions. Default 300 reads.
-func Titan(p Params) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+func Titan(p Params) (*trace.Trace, error) { return collect(p, streamTitan) }
+
+func streamTitan(p Params, s *sink) uint32 {
 	reads := p.Requests
 	if reads == 0 {
 		reads = 300
 	}
 	// Tile sizes cycle around the mean 187681 so the average matches.
 	sizes := []int64{187681 - 20000, 187681, 187681 + 20000}
-	var recs []trace.Record
-	recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1})
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
 	off := int64(0)
 	wall := int64(0)
 	for i := 0; i < reads; i++ {
@@ -141,16 +225,15 @@ func Titan(p Params) (*trace.Trace, error) {
 		}
 		size := sizes[i%len(sizes)]
 		off = clampOffset(off, size, p.FileSize)
-		recs = append(recs, trace.Record{
+		s.add(trace.Record{
 			Op: trace.OpRead, Count: 1,
 			WallClock: wall, Offset: off, Length: size,
 		})
 		off += size
 		wall += 1500
 	}
-	recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
-	t := &trace.Trace{Header: header(p, 1, len(recs)), Records: recs}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
+	return 1
 }
 
 // LURequestSizes are Table 3's six out-of-core panel sizes; the paper
@@ -162,16 +245,14 @@ var LURequestSizes = []int64{66617088, 66092544, 64518912, 63994368, 62945280, 6
 // a seek from the beginning of the file to the panel offset followed by a
 // synchronous write of the factored panel (§3.4 records LU's seek and
 // write times). Requests is ignored: the panel set is Table 3's.
-func LU(p Params) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	var recs []trace.Record
-	recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1})
+func LU(p Params) (*trace.Trace, error) { return collect(p, streamLU) }
+
+func streamLU(p Params, s *sink) uint32 {
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
 	wall := int64(0)
 	for i, target := range LURequestSizes {
 		off := clampOffset(target, 0, p.FileSize)
-		recs = append(recs, trace.Record{
+		s.add(trace.Record{
 			Op: trace.OpSeek, Count: 1, Field: uint32(i),
 			WallClock: wall, Offset: off,
 		})
@@ -179,15 +260,14 @@ func LU(p Params) (*trace.Trace, error) {
 		// as elimination proceeds.
 		writeSize := int64(1 << 20)
 		writeOff := clampOffset(off, writeSize, p.FileSize)
-		recs = append(recs, trace.Record{
+		s.add(trace.Record{
 			Op: trace.OpWrite, Count: 1, Field: uint32(i),
 			WallClock: wall + 10, Offset: writeOff, Length: writeSize,
 		})
 		wall += 5000
 	}
-	recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
-	t := &trace.Trace{Header: header(p, 1, len(recs)), Records: recs}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
+	return 1
 }
 
 // CholeskyRequestSizes are Table 4's sixteen read sizes.
@@ -201,12 +281,10 @@ var CholeskyRequestSizes = []int64{
 // forward through the factor file (prefetch-friendly), but a few reads
 // jump back to earlier columns — the requests whose latencies spike in
 // Table 4. Requests is ignored: the request set is Table 4's.
-func Cholesky(p Params) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	var recs []trace.Record
-	recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1})
+func Cholesky(p Params) (*trace.Trace, error) { return collect(p, streamCholesky) }
+
+func streamCholesky(p Params, s *sink) uint32 {
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
 	wall := int64(0)
 	frontier := int64(0)
 	// Requests that visit a distant, never-touched column block: cold
@@ -230,11 +308,11 @@ func Cholesky(p Params) (*trace.Trace, error) {
 			readOff = frontier
 		}
 		readOff = clampOffset(readOff, size, p.FileSize)
-		recs = append(recs, trace.Record{
+		s.add(trace.Record{
 			Op: trace.OpSeek, Count: 1, Field: uint32(i),
 			WallClock: wall, Offset: readOff,
 		})
-		recs = append(recs, trace.Record{
+		s.add(trace.Record{
 			Op: trace.OpRead, Count: 1, Field: uint32(i),
 			WallClock: wall + 10, Offset: readOff, Length: size,
 		})
@@ -243,19 +321,17 @@ func Cholesky(p Params) (*trace.Trace, error) {
 		}
 		wall += 3000
 	}
-	recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
-	t := &trace.Trace{Header: header(p, 1, len(recs)), Records: recs}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
+	return 1
 }
 
 // Pgrep generates the parallel text search trace: NumProcesses=4 workers
 // each scanning its own quarter of the file with sequential 64 KB reads —
 // the partitioned-scan pattern of the parallel agrep port. Default 512
 // reads total.
-func Pgrep(p Params) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+func Pgrep(p Params) (*trace.Trace, error) { return collect(p, streamPgrep) }
+
+func streamPgrep(p Params, s *sink) uint32 {
 	reads := p.Requests
 	if reads == 0 {
 		reads = 512
@@ -263,24 +339,22 @@ func Pgrep(p Params) (*trace.Trace, error) {
 	const nproc = 4
 	const readSize = 64 << 10
 	perProc := reads / nproc
-	var recs []trace.Record
-	recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1})
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
 	wall := int64(0)
 	// Interleave the four workers' scans, as a shared-trace capture would.
 	for i := 0; i < perProc; i++ {
 		for pid := 0; pid < nproc; pid++ {
 			base := int64(pid) * (p.FileSize / nproc)
 			off := clampOffset(base+int64(i)*readSize, readSize, p.FileSize)
-			recs = append(recs, trace.Record{
+			s.add(trace.Record{
 				Op: trace.OpRead, Count: 1, PID: uint32(pid),
 				WallClock: wall, Offset: off, Length: readSize,
 			})
 			wall += 400
 		}
 	}
-	recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
-	t := &trace.Trace{Header: header(p, nproc, len(recs)), Records: recs}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1, WallClock: wall})
+	return nproc
 }
 
 // Parallel generates an n-worker partitioned workload (n = Params.
@@ -293,10 +367,9 @@ func Pgrep(p Params) (*trace.Trace, error) {
 // the leading three quarters of each region are touched; the trailing
 // gap keeps one worker's read-ahead from warming its neighbour's pages.
 // Requests is the total read count across workers (default 256).
-func Parallel(p Params) (*trace.Trace, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+func Parallel(p Params) (*trace.Trace, error) { return collect(p, streamParallel) }
+
+func streamParallel(p Params, s *sink) uint32 {
 	nproc := p.Workers
 	if nproc == 0 {
 		nproc = 4
@@ -316,32 +389,33 @@ func Parallel(p Params) (*trace.Trace, error) {
 	if scan < readSize {
 		scan = readSize
 	}
-	var recs []trace.Record
 	wall := int64(0)
 	for pid := 0; pid < nproc; pid++ {
 		base := int64(pid) * region
-		recs = append(recs, trace.Record{Op: trace.OpOpen, Count: 1, PID: uint32(pid), WallClock: wall})
+		s.add(trace.Record{Op: trace.OpOpen, Count: 1, PID: uint32(pid), WallClock: wall})
 		for i := 0; i < perProc; i++ {
 			off := clampOffset(base+(int64(i)*readSize)%scan, readSize, p.FileSize)
-			recs = append(recs, trace.Record{
+			s.add(trace.Record{
 				Op: trace.OpRead, Count: 1, PID: uint32(pid),
 				WallClock: wall, Offset: off, Length: readSize,
 			})
 			wall += 500
 			if i%8 == 7 {
 				woff := clampOffset(base+(int64(i-7)*readSize)%scan, readSize, p.FileSize)
-				recs = append(recs, trace.Record{
+				s.add(trace.Record{
 					Op: trace.OpWrite, Count: 1, PID: uint32(pid),
 					WallClock: wall, Offset: woff, Length: readSize,
 				})
 				wall += 500
 			}
 		}
-		recs = append(recs, trace.Record{Op: trace.OpClose, Count: 1, PID: uint32(pid), WallClock: wall})
+		s.add(trace.Record{Op: trace.OpClose, Count: 1, PID: uint32(pid), WallClock: wall})
 	}
-	t := &trace.Trace{Header: header(p, uint32(nproc), len(recs)), Records: recs}
-	return t, t.Validate()
+	return uint32(nproc)
 }
+
+// errStopSeq aborts a generator whose pull-side consumer stopped early.
+var errStopSeq = errors.New("tracegen: sequence stopped")
 
 // Mixed interleaves all five applications' traces into one multi-process
 // trace (one PID per application) — the consolidated-server workload used
@@ -352,76 +426,155 @@ func Mixed(p Params) (*trace.Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	traces, err := All(p)
-	if err != nil {
-		return nil, err
+	var recs []trace.Record
+	s := &sink{emit: func(r *trace.Record) error {
+		recs = append(recs, *r)
+		return nil
+	}}
+	nproc := streamMixed(p, s)
+	if s.err != nil {
+		return nil, s.err
 	}
-	// Strip the per-app open/close; collect data records per app.
-	perApp := make([][]trace.Record, 0, len(AppNames))
-	for _, name := range AppNames {
-		var recs []trace.Record
-		for _, r := range traces[name].Records {
-			if r.Op == trace.OpOpen || r.Op == trace.OpClose {
-				continue
+	t := &trace.Trace{Header: header(p, nproc, len(recs)), Records: recs}
+	return t, t.Validate()
+}
+
+// streamMixed merges the five applications by pulling one data record
+// per application per round (iter.Pull over each generator's stream), so
+// the merge holds one in-flight record per application instead of five
+// materialized traces. Per-app open/close records are dropped; the mix
+// is bracketed by a single shared open/close pair.
+func streamMixed(p Params, s *sink) uint32 {
+	pulls := make([]func() (trace.Record, bool), len(AppNames))
+	stops := make([]func(), len(AppNames))
+	genErrs := make([]error, len(AppNames))
+	for i, name := range AppNames {
+		gen := generators[name]
+		idx := i
+		seq := func(yield func(trace.Record) bool) {
+			inner := &sink{emit: func(r *trace.Record) error {
+				if r.Op == trace.OpOpen || r.Op == trace.OpClose {
+					return nil // per-app brackets are dropped from the mix
+				}
+				if !yield(*r) {
+					return errStopSeq
+				}
+				return nil
+			}}
+			gen(p, inner)
+			if inner.err != nil && inner.err != errStopSeq {
+				genErrs[idx] = inner.err
 			}
-			recs = append(recs, r)
 		}
-		perApp = append(perApp, recs)
+		pulls[i], stops[i] = iter.Pull(seq)
 	}
-	var merged []trace.Record
-	merged = append(merged, trace.Record{Op: trace.OpOpen, Count: 1})
-	idx := make([]int, len(perApp))
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	s.add(trace.Record{Op: trace.OpOpen, Count: 1})
+	live := make([]bool, len(pulls))
+	for i := range live {
+		live[i] = true
+	}
 	for {
 		advanced := false
-		for app := range perApp {
-			if idx[app] >= len(perApp[app]) {
+		for app := range pulls {
+			if !live[app] {
 				continue
 			}
-			rec := perApp[app][idx[app]]
+			rec, ok := pulls[app]()
+			if !ok {
+				live[app] = false
+				continue
+			}
 			rec.PID = uint32(app)
-			merged = append(merged, rec)
-			idx[app]++
+			s.add(rec)
 			advanced = true
 		}
 		if !advanced {
 			break
 		}
 	}
-	merged = append(merged, trace.Record{Op: trace.OpClose, Count: 1})
-	t := &trace.Trace{
-		Header: trace.Header{
-			NumProcesses: uint32(len(perApp)),
-			NumFiles:     1,
-			NumRecords:   uint32(len(merged)),
-			SampleFile:   p.SampleFile,
-		},
-		Records: merged,
+	for _, err := range genErrs {
+		if err != nil && s.err == nil {
+			s.err = err
+		}
 	}
-	return t, t.Validate()
+	s.add(trace.Record{Op: trace.OpClose, Count: 1})
+	return uint32(len(AppNames))
 }
 
 // AppNames lists the five applications in the paper's order.
 var AppNames = []string{"Dmine", "Pgrep", "LU", "Titan", "Cholesky"}
 
+// Processes returns the process count app's trace will declare, without
+// generating it — the v2 streaming header is written before any record
+// exists.
+func Processes(app string, p Params) (uint32, error) {
+	switch app {
+	case "Pgrep":
+		return 4, nil
+	case "Parallel":
+		if p.Workers == 0 {
+			return 4, nil
+		}
+		return uint32(p.Workers), nil
+	case "Mixed":
+		return uint32(len(AppNames)), nil
+	}
+	if _, ok := generators[app]; !ok {
+		return 0, fmt.Errorf("tracegen: unknown application %q (want one of %v)", app, AppNames)
+	}
+	return 1, nil
+}
+
+// EncodeV2 streams app's trace to w in the v2 columnar format — the
+// record sequence flows generator → encoder → w without ever existing
+// as a slice, so multi-GB fixtures author in constant memory. It
+// returns the trace's final header and the encoded record count.
+func EncodeV2(w io.Writer, app string, p Params) (trace.Header, error) {
+	if err := p.Validate(); err != nil {
+		return trace.Header{}, err
+	}
+	nproc, err := Processes(app, p)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	enc, err := trace.NewEncoder(w, trace.Header{
+		NumProcesses: nproc,
+		NumFiles:     1,
+		SampleFile:   p.SampleFile,
+	})
+	if err != nil {
+		return trace.Header{}, err
+	}
+	h, err := Stream(app, p, enc.Append)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	if err := enc.Close(); err != nil {
+		return trace.Header{}, err
+	}
+	if h.NumProcesses != nproc {
+		return trace.Header{}, fmt.Errorf("tracegen: %s declared %d processes, generated %d", app, nproc, h.NumProcesses)
+	}
+	return h, nil
+}
+
 // Generate dispatches by application name (case-sensitive, as in
 // AppNames).
 func Generate(app string, p Params) (*trace.Trace, error) {
-	switch app {
-	case "Dmine":
-		return Dmine(p)
-	case "Pgrep":
-		return Pgrep(p)
-	case "LU":
-		return LU(p)
-	case "Titan":
-		return Titan(p)
-	case "Cholesky":
-		return Cholesky(p)
-	case "Parallel":
-		return Parallel(p)
-	default:
+	if app == "Mixed" {
+		return Mixed(p)
+	}
+	gen, ok := generators[app]
+	if !ok {
 		return nil, fmt.Errorf("tracegen: unknown application %q (want one of %v)", app, AppNames)
 	}
+	return collect(p, gen)
 }
 
 // All generates every application's trace with the same parameters.

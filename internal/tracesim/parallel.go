@@ -100,6 +100,7 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		merged.Write.Merge(&r.Write)
 		merged.Seek.Merge(&r.Seek)
 		merged.Requests = append(merged.Requests, r.Requests...)
+		merged.TotalRequests += r.TotalRequests
 		merged.WorkerTime += r.Elapsed
 		if r.Elapsed > longest {
 			longest = r.Elapsed

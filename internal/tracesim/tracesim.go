@@ -38,8 +38,22 @@ type Report struct {
 	App string
 	// Per-operation latency summaries in milliseconds.
 	Open, Close, Read, Write, Seek metrics.Summary
-	// Requests lists each data request in trace order.
+	// Requests lists each data request in trace order. In streaming-
+	// aggregation mode (ReplayStream with StreamAggregate) it holds a
+	// bounded reservoir sample instead; SampledRequests marks that.
 	Requests []RequestTiming
+	// TotalRequests counts every data request routed into the report,
+	// including rows a streaming-aggregation reservoir dropped. It always
+	// matches len(Requests) on the non-aggregated paths.
+	TotalRequests int64
+	// SampledRequests reports that Requests is a reservoir sample
+	// (streaming aggregation) rather than the complete row list.
+	SampledRequests bool
+	// ReadHist, WriteHist and SeekHist are per-operation latency
+	// histograms, populated only in streaming-aggregation mode — the
+	// bounded stand-in for the exact latencies the full Requests rows
+	// carry otherwise.
+	ReadHist, WriteHist, SeekHist *metrics.Histogram
 	// Elapsed is the replay's simulated duration. Serial replay charges
 	// every operation to one clock, so this is the sum of all operation
 	// times (plus think time when paced). Concurrent replay on a
@@ -55,6 +69,32 @@ type Report struct {
 	// ThinkTime is the total inter-record wall-clock gap charged by a
 	// paced replay (zero otherwise).
 	ThinkTime time.Duration
+
+	// agg, when non-nil, bounds the report's memory: addRequest feeds the
+	// per-op histograms and a reservoir instead of growing Requests.
+	agg *streamAgg
+}
+
+// addRequest routes one data-request row into the report: appended in
+// trace order normally, folded into the histograms and reservoir in
+// streaming-aggregation mode.
+func (r *Report) addRequest(rt RequestTiming) {
+	r.TotalRequests++
+	if r.agg == nil {
+		rt.Index = len(r.Requests) + 1
+		r.Requests = append(r.Requests, rt)
+		return
+	}
+	switch rt.Op {
+	case trace.OpRead:
+		r.ReadHist.Add(rt.ReadMS)
+	case trace.OpWrite:
+		r.WriteHist.Add(rt.WriteMS)
+	case trace.OpSeek:
+		r.SeekHist.Add(rt.SeekMS)
+	}
+	rt.Index = int(r.TotalRequests)
+	r.agg.offer(&r.Requests, rt)
 }
 
 // Table renders the report in the generic layout (a row per operation
@@ -89,6 +129,16 @@ type Replayer struct {
 	// report's ThinkTime and included in Elapsed). Unpaced replay (the
 	// default, and the paper's method) issues records back to back.
 	Paced bool
+	// StreamQueueDepth bounds each ReplayStream worker's record queue
+	// (backpressure on the trace reader). Defaults to 1024 records.
+	StreamQueueDepth int
+	// StreamAggregate switches ReplayStream's report to bounded-memory
+	// aggregation: per-op latency histograms plus a reservoir sample of
+	// StreamReservoir request rows instead of the full Requests slice.
+	StreamAggregate bool
+	// StreamReservoir is the per-worker reservoir capacity when
+	// StreamAggregate is on. Defaults to 4096 rows.
+	StreamReservoir int
 }
 
 // NewReplayer builds a replayer over store.
@@ -124,7 +174,10 @@ func dataOps(recs []*trace.Record) int {
 // Prepare provisions the trace's sample file if missing: sparse on stores
 // that support it, zero-filled otherwise.
 func (rp *Replayer) Prepare(tr *trace.Trace) error {
-	name := tr.Header.SampleFile
+	return rp.prepareSample(tr.Header.SampleFile)
+}
+
+func (rp *Replayer) prepareSample(name string) error {
 	if rp.store.Exists(name) {
 		return nil
 	}
@@ -225,9 +278,8 @@ func (rp *Replayer) step(st fsim.Store, rep *Report, f *fsim.File, buf *[]byte, 
 		}
 		dur := d0 + d1
 		rep.Seek.AddDuration(dur)
-		rep.Requests = append(rep.Requests, RequestTiming{
-			Index: len(rep.Requests) + 1, Op: trace.OpSeek,
-			Size: rec.Offset, SeekMS: ms(dur),
+		rep.addRequest(RequestTiming{
+			Op: trace.OpSeek, Size: rec.Offset, SeekMS: ms(dur),
 		})
 		return dur, nil
 
@@ -245,9 +297,8 @@ func (rp *Replayer) step(st fsim.Store, rep *Report, f *fsim.File, buf *[]byte, 
 			return 0, err
 		}
 		rep.Read.AddDuration(readDur)
-		rep.Requests = append(rep.Requests, RequestTiming{
-			Index: len(rep.Requests) + 1, Op: trace.OpRead,
-			Size: rec.Length, SeekMS: ms(seekDur), ReadMS: ms(readDur),
+		rep.addRequest(RequestTiming{
+			Op: trace.OpRead, Size: rec.Length, SeekMS: ms(seekDur), ReadMS: ms(readDur),
 		})
 		return seekDur + readDur, nil
 
@@ -265,9 +316,8 @@ func (rp *Replayer) step(st fsim.Store, rep *Report, f *fsim.File, buf *[]byte, 
 			return 0, err
 		}
 		rep.Write.AddDuration(writeDur)
-		rep.Requests = append(rep.Requests, RequestTiming{
-			Index: len(rep.Requests) + 1, Op: trace.OpWrite,
-			Size: rec.Length, SeekMS: ms(seekDur), WriteMS: ms(writeDur),
+		rep.addRequest(RequestTiming{
+			Op: trace.OpWrite, Size: rec.Length, SeekMS: ms(seekDur), WriteMS: ms(writeDur),
 		})
 		return seekDur + writeDur, nil
 	}
