@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-cold bench-contention bench-trace bench-json stdfs-smoke fmt vet fmt-check ci
+.PHONY: all build test race bench bench-cold bench-contention bench-trace bench-faults bench-json stdfs-smoke fmt vet fmt-check ci
 
 all: build
 
@@ -57,19 +57,34 @@ bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplayStream' -benchtime=1x ./internal/tracesim
 	$(GO) run ./examples/outofcore -records 100000
 
+# Fault-injection smoke: the degraded-mode path end to end. The
+# fault-injected and rebuilding 8-lane replays must be bit-identical
+# across runs under the race detector, then tracebench drives the same
+# degraded RAID5 array from the command line: a dead member served by
+# reconstruct-reads, seeded op-level injection absorbed by
+# retry/backoff (budget <= max retries, so nothing fails), and the
+# dead member rebuilding onto a spare through the shared queue while
+# the foreground lanes replay.
+bench-faults:
+	$(GO) test -race -count=1 -run 'TestFaultInjectedReplayDeterministic|TestRebuildingReplayDeterministic' ./internal/tracesim
+	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf -disks 4 -raid raid5 -faults "fail:1@0s"
+	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf -disks 4 -raid raid5 -faults "fail:1@0s" -inject "seed=7,rate=20,budget=4" -retry "max=4,base=50us"
+	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf -disks 4 -raid raid5 -faults "fail:1@0s" -rebuild 1
+
 # Machine-readable bench trajectory: the hot-path microbenchmarks
 # (including the engine-only miss/evict row and the per-record trace
 # decode/replay rows), the trace-format bytes/record table, the
-# shard/worker scaling, the write-back ablation, and the shared-queue
-# contention rows of the simulated-parallel replay. CI uploads the file
-# as an artifact; the committed copy tracks the trajectory in-repo and
-# doubles as the regression baseline — the run fails if an engine-only
-# guarded row (cache_warm_read_64k, cache_miss_evict, trace_decode_v1
-# or trace_decode_v2) regresses more than 25% against it. A failed run
+# shard/worker scaling, the write-back ablation, the shared-queue
+# contention rows, and the degraded-mode fault_recovery ablation of
+# the simulated-parallel replay. CI uploads the file as an artifact;
+# the committed copy tracks the trajectory in-repo and doubles as the
+# regression baseline — the run fails if an engine-only guarded row
+# (cache_warm_read_64k, cache_miss_evict, trace_decode_v1 or
+# trace_decode_v2) regresses more than 25% against it. A failed run
 # leaves the baseline untouched and writes the regressed report to
-# BENCH_7.json.failed.json.
+# BENCH_8.json.failed.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_7.json -baseline BENCH_7.json
+	$(GO) run ./cmd/benchjson -out BENCH_8.json -baseline BENCH_8.json
 
 # End-to-end smoke for the io/fs facade: the example runs unmodified
 # stdlib code (fs.WalkDir, fs.ReadFile, archive/tar) against the
@@ -91,4 +106,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test race bench bench-cold bench-contention bench-trace stdfs-smoke
+ci: build vet fmt-check test race bench bench-cold bench-contention bench-trace bench-faults stdfs-smoke

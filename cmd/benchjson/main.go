@@ -1,6 +1,6 @@
 // Benchjson emits the bench trajectory as machine-readable JSON (`make
-// bench-json` writes BENCH_7.json, CI uploads it and fails on hot-path
-// regressions). Five sections:
+// bench-json` writes BENCH_8.json, CI uploads it and fails on hot-path
+// regressions). Six sections:
 //
 //   - hot_path: in-process microbenchmarks of the replay engine's wall
 //     hot paths — warm 64 KB reads (dense and sparse), the single-page
@@ -32,11 +32,17 @@
 //     shared disk queue (sharedq_l{1,4,8}_{fcfs,sstf,scan} rows):
 //     foreground read latency, total elapsed, and queue stats as lanes
 //     contend one event-merged queue under each policy. The simulated
-//     quantities are deterministic; the rows are new this release and
-//     not yet under the -baseline guard.
+//     quantities are deterministic.
+//   - fault_recovery: the degraded-mode ablation — the 8-lane
+//     shared-queue Parallel replay over a RAID5 array healthy, with a
+//     dead member (reads reconstruct from the survivors), with seeded
+//     op-level injection absorbed by retry/backoff, and with the dead
+//     member rebuilding onto a spare through the same contended queue.
+//     Deterministic; the rows are new this release and not under the
+//     -baseline guard.
 //
 // With -baseline pointing at a previous report (normally the committed
-// BENCH_7.json), the run fails if an engine-only guarded row —
+// BENCH_8.json), the run fails if an engine-only guarded row —
 // cache_warm_read_64k (the warm path), cache_miss_evict (the cold
 // path), or the trace_decode_v1 / trace_decode_v2 per-record decode
 // rows — regressed more than 25%. The guard runs before -out is
@@ -123,6 +129,25 @@ type contentionRow struct {
 	QueueDelayNS    int64   `json:"queue_delay_ns"`
 }
 
+// faultRow is one leg of the degraded-mode ablation: the 8-lane
+// shared-queue Parallel replay over a 4-disk RAID5 array under one
+// fault configuration. Foreground read latency moves as reconstruction
+// reads and rebuild traffic contend the queue; the recovery counters
+// carry the op-level injection tally.
+type faultRow struct {
+	Name             string  `json:"name"`
+	SimElapsedNS     int64   `json:"sim_elapsed_ns"`
+	ReadMeanMS       float64 `json:"read_mean_ms"`
+	DegradedReads    int64   `json:"degraded_reads"`
+	ReconstructReads int64   `json:"reconstruct_reads"`
+	RebuildRows      int64   `json:"rebuild_rows"`
+	RebuildTimeNS    int64   `json:"rebuild_time_ns"`
+	Injected         int64   `json:"injected"`
+	Retried          int64   `json:"retried"`
+	Recovered        int64   `json:"recovered"`
+	Failed           int64   `json:"failed"`
+}
+
 // traceFormatRow is one (app, encoding) pair's on-disk cost: the encoded
 // size of the generated trace and its bytes/record. v1 is the 48-byte
 // fixed-width legacy layout; v2 is the block-framed columnar encoding the
@@ -146,6 +171,7 @@ type report struct {
 	WorkerScaling     []scalingRow     `json:"worker_scaling"`
 	WritebackAblation []ablationRow    `json:"writeback_ablation"`
 	SharedQContention []contentionRow  `json:"sharedq_contention,omitempty"`
+	FaultRecovery     []faultRow       `json:"fault_recovery,omitempty"`
 }
 
 // warmReadBenchName is the replay engine's dominant end-to-end
@@ -452,6 +478,94 @@ func replay(workers, shards, writeback int, policy simdisk.SchedPolicy, queue fs
 	return rep, store, wall, nil
 }
 
+// replayFaulted runs one fault_recovery ablation leg: the 8-lane
+// shared-queue Parallel replay over a 4-disk RAID5 array under the
+// given fault plan, op-level injection schedule, recovery policy, and
+// rebuild member (-1 = no rebuild). The foreground geometry matches the
+// sharedq_l8_sstf row so the degraded deltas read against it.
+func replayFaulted(plan *simdisk.FaultPlan, inject fsim.InjectSpec, retry fsim.RetryPolicy, rebuild int, fileSize int64, requests int) (*tracesim.Report, *fsim.FileStore, error) {
+	params := tracegen.Params{
+		SampleFile: "sample.dat", FileSize: fileSize,
+		Requests: requests, Workers: 8,
+	}
+	tr, err := tracegen.Parallel(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := fsim.DefaultConfig()
+	cfg.Cache.Shards = 8
+	cfg.Cache.WritebackPolicy = simdisk.SSTF
+	cfg.DiskQueue = fsim.DiskQueueShared
+	cfg.Disks = 4
+	cfg.RAIDLevel = simdisk.RAID5
+	cfg.Faults = plan
+	cfg.Inject = inject
+	cfg.Retry = retry
+	store, err := fsim.NewFileStore(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rp := tracesim.NewReplayer(store)
+	rp.SampleFileSize = fileSize
+	rp.RebuildMember = rebuild
+	rep, err := rp.ReplayConcurrent("Parallel", tr)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return rep, store, nil
+}
+
+// faultRecoveryRows runs the degraded-mode ablation: the same replay
+// healthy, with member 1 dead (reads reconstruct from the survivors),
+// with seeded injection on top of the dead member (retry/backoff
+// absorbs every fault: Budget <= Retry.Max), and with the dead member
+// rebuilding onto a spare through the same contended queue.
+func faultRecoveryRows(fileSize int64, requests int) ([]faultRow, error) {
+	dead := &simdisk.FaultPlan{Faults: []simdisk.Fault{
+		{Disk: 1, Kind: simdisk.FaultDevice, At: 0},
+	}}
+	legs := []struct {
+		name    string
+		plan    *simdisk.FaultPlan
+		inject  fsim.InjectSpec
+		retry   fsim.RetryPolicy
+		rebuild int
+	}{
+		{name: "raid5_healthy", rebuild: -1},
+		{name: "raid5_degraded", plan: dead, rebuild: -1},
+		{
+			name: "raid5_degraded_injected", plan: dead, rebuild: -1,
+			inject: fsim.InjectSpec{Seed: 7, Rate: 20, Budget: 4},
+			retry:  fsim.RetryPolicy{Max: 4, Base: 50 * time.Microsecond},
+		},
+		{name: "raid5_rebuilding", plan: dead, rebuild: 1},
+	}
+	rows := make([]faultRow, 0, len(legs))
+	for _, leg := range legs {
+		rep, store, err := replayFaulted(leg.plan, leg.inject, leg.retry, leg.rebuild, fileSize, requests)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", leg.name, err)
+		}
+		ds := store.TotalDiskStats()
+		store.Close()
+		rows = append(rows, faultRow{
+			Name:             leg.name,
+			SimElapsedNS:     rep.Elapsed.Nanoseconds(),
+			ReadMeanMS:       rep.Read.Mean(),
+			DegradedReads:    ds.DegradedReads,
+			ReconstructReads: ds.ReconstructReads,
+			RebuildRows:      rep.RebuildRows,
+			RebuildTimeNS:    rep.RebuildTime.Nanoseconds(),
+			Injected:         rep.Recovery.Injected,
+			Retried:          rep.Recovery.Retried,
+			Recovered:        rep.Recovery.Recovered,
+			Failed:           rep.Recovery.Failed,
+		})
+	}
+	return rows, nil
+}
+
 // loadBaselineHotPath reads every hot-path row of a previous report,
 // keyed by name. A missing or unreadable file just disables the guard
 // (first run, fresh clone) with a note on stderr.
@@ -477,7 +591,7 @@ func loadBaselineHotPath(path string) map[string]float64 {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_7.json", "output path (\"-\" for stdout)")
+		out      = flag.String("out", "BENCH_8.json", "output path (\"-\" for stdout)")
 		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if an engine-only guarded row regresses >25%")
 		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
 		requests = flag.Int("requests", 256, "total reads across workers")
@@ -585,6 +699,12 @@ func main() {
 			})
 		}
 	}
+
+	faultRows, err := faultRecoveryRows(*fileSize, *requests)
+	if err != nil {
+		fatal(err)
+	}
+	rep.FaultRecovery = faultRows
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -52,6 +52,12 @@ func main() {
 		wbHigh     = flag.Int("writeback-highwater", 0, "dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
 		sched      = flag.String("sched", "fcfs", "disk scheduling policy (write-back batches, and the shared queue): fcfs | sstf | scan")
 		diskQueue  = flag.String("disk-queue", "private", "disk-queue mode: private (per-worker timing views) | shared (one contended queue)")
+		disks      = flag.Int("disks", 0, "simulated disks in the array (0 = config default)")
+		raid       = flag.String("raid", "", "array redundancy: raid0 | raid1 | raid5 (empty = config default)")
+		faults     = flag.String("faults", "", `device fault plan, e.g. "fail:1@0s,slow:0@1ms+200us..5ms,media:2@0s:4096+8192"`)
+		inject     = flag.String("inject", "", `seeded op-level fault schedule, e.g. "seed=7,rate=40,budget=4,ops=read|write"`)
+		retry      = flag.String("retry", "", `session recovery policy, e.g. "max=3,base=50us"`)
+		rebuild    = flag.Int("rebuild", -1, "rebuild this member onto a spare during -concurrent replay (-1 = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,25 @@ func main() {
 	queueMode, err := fsim.ParseDiskQueue(*diskQueue)
 	if err != nil {
 		fatal(err)
+	}
+	faultPlan, err := simdisk.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	injectSpec, err := fsim.ParseInjectSpec(*inject)
+	if err != nil {
+		fatal(err)
+	}
+	retryPolicy, err := fsim.ParseRetrySpec(*retry)
+	if err != nil {
+		fatal(err)
+	}
+	raidLevel, err := simdisk.ParseLevel(*raid)
+	if err != nil {
+		fatal(err)
+	}
+	if *rebuild >= 0 && !*concurrent {
+		fatal(fmt.Errorf("-rebuild runs alongside -concurrent replay; add -concurrent"))
 	}
 
 	params := tracegen.Params{SampleFile: "sample-1gb.dat", FileSize: *fileSize, Requests: *requests, Workers: *workers}
@@ -179,6 +204,21 @@ func main() {
 		cfg.Cache.WritebackHighwater = *wbHigh
 		cfg.Cache.WritebackPolicy = policy
 		cfg.DiskQueue = queueMode
+		if *disks > 0 {
+			cfg.Disks = *disks
+		}
+		if *raid != "" {
+			cfg.RAIDLevel = raidLevel
+		}
+		if faultPlan != nil {
+			cfg.Faults = faultPlan
+		}
+		if *inject != "" {
+			cfg.Inject = injectSpec
+		}
+		if *retry != "" {
+			cfg.Retry = retryPolicy
+		}
 		s, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			fatal(err)
@@ -190,6 +230,7 @@ func main() {
 	rp := tracesim.NewReplayer(store)
 	rp.SampleFileSize = *fileSize
 	rp.Paced = *paced
+	rp.RebuildMember = *rebuild
 	var rep *tracesim.Report
 	var replayed int64
 	switch {
@@ -239,6 +280,20 @@ func main() {
 		qs := q.Stats()
 		fmt.Printf("shared queue (%s): %d dispatches (%d sync, %d async), max depth %d, queue delay %v\n",
 			q.Policy(), qs.Dispatches, qs.SyncDispatches, qs.AsyncDispatches, qs.MaxPending, qs.QueueDelay)
+	}
+	if rec := rep.Recovery; rec.Any() {
+		fmt.Printf("fault recovery: %d injected, %d retried, %d recovered, %d failed\n",
+			rec.Injected, rec.Retried, rec.Recovered, rec.Failed)
+	}
+	if rep.RebuildRows > 0 {
+		fmt.Printf("rebuild: member %d reconstructed, %d blocks in %v (simulated)\n",
+			*rebuild, rep.RebuildRows, rep.RebuildTime)
+	}
+	if fs, ok := store.(*fsim.FileStore); ok {
+		if ds := fs.TotalDiskStats(); ds.DegradedReads+ds.ReconstructReads+ds.MediaErrors+ds.Unrecoverable > 0 {
+			fmt.Printf("degraded mode: %d failover reads, %d reconstruct reads, %d media errors, %d unrecoverable, slowdown %v\n",
+				ds.DegradedReads, ds.ReconstructReads, ds.MediaErrors, ds.Unrecoverable, ds.SlowdownTime)
+		}
 	}
 	if *perReq {
 		for _, r := range rep.Requests {

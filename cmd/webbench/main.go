@@ -45,6 +45,11 @@ func main() {
 		wbHigh    = flag.Int("writeback-highwater", 0, "serve mode: dirty-page high-water mark per stripe that stalls writers (0 = never; needs -writeback)")
 		sched     = flag.String("sched", "fcfs", "serve mode: disk scheduling policy (write-back, shared queue): fcfs | sstf | scan")
 		diskQueue = flag.String("disk-queue", "private", "serve mode: disk-queue mode: private | shared (contended queue across connection lanes; needs -lanes)")
+		disks     = flag.Int("disks", 0, "serve mode: simulated disks in the array (0 = config default)")
+		raid      = flag.String("raid", "", "serve mode: array redundancy: raid0 | raid1 | raid5 (empty = config default)")
+		faults    = flag.String("faults", "", `serve mode: device fault plan, e.g. "fail:1@0s,slow:0@1ms+200us"`)
+		retry     = flag.String("retry", "", `serve mode: session recovery policy, e.g. "max=3,base=50us" (needs -lanes to matter)`)
+		shed      = flag.String("shed", "", `serve mode: load-shedding policy, e.g. "max=8,deadline=2ms"`)
 	)
 	flag.Parse()
 
@@ -52,7 +57,7 @@ func main() {
 	case "tables":
 		runTables()
 	case "serve":
-		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched, *diskQueue)
+		runServe(*addr, *shards, *lanes, *writeback, *wbHigh, *sched, *diskQueue, *disks, *raid, *faults, *retry, *shed)
 	case "servefs":
 		runServeFS(*addr, *shards)
 	case "load":
@@ -81,7 +86,7 @@ func runTables() {
 	fmt.Println(fig.RenderLines(44, 10))
 }
 
-func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched, diskQueue string) {
+func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched, diskQueue string, disks int, raid, faults, retry, shed string) {
 	cfg := fsim.DefaultConfig()
 	if shards == 0 {
 		shards = buffercache.AutoShards()
@@ -102,6 +107,34 @@ func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched,
 	cfg.Cache.WritebackHighwater = wbHigh
 	cfg.Cache.WritebackPolicy = policy
 	cfg.DiskQueue = queueMode
+	if disks > 0 {
+		cfg.Disks = disks
+	}
+	if raid != "" {
+		level, err := simdisk.ParseLevel(raid)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.RAIDLevel = level
+	}
+	if faults != "" {
+		plan, err := simdisk.ParseFaultPlan(faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if retry != "" {
+		pol, err := fsim.ParseRetrySpec(retry)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Retry = pol
+	}
+	shedPolicy, err := webserver.ParseShedPolicy(shed)
+	if err != nil {
+		fatal(err)
+	}
 	store, err := fsim.NewFileStore(cfg)
 	if err != nil {
 		fatal(err)
@@ -115,7 +148,7 @@ func runServe(addr string, shards int, lanes bool, writeback, wbHigh int, sched,
 		fatal(err)
 	}
 	rt.RegisterBCL()
-	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt, Lanes: lanes})
+	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt, Lanes: lanes, Shed: shedPolicy})
 	if err != nil {
 		fatal(err)
 	}
@@ -241,13 +274,30 @@ func printRecords(recs []webserver.RequestRecord) {
 	if len(recs) == 0 {
 		return
 	}
-	fmt.Printf("served %d requests:\n", len(recs))
+	served, shed, deadlined := 0, 0, 0
+	for _, r := range recs {
+		switch {
+		case r.Shed:
+			shed++
+		case r.Deadlined:
+			deadlined++
+		default:
+			served++
+		}
+	}
+	fmt.Printf("served %d requests (%d shed, %d deadlined):\n", served, shed, deadlined)
 	for i, r := range recs {
 		if i >= 20 {
 			fmt.Printf("  ... and %d more\n", len(recs)-20)
 			return
 		}
-		fmt.Printf("  %-4s %-16s %8d bytes  %.4f ms\n", r.Kind, r.File, r.Size, r.IOTimeMS())
+		note := ""
+		if r.Shed {
+			note = "  [503 shed]"
+		} else if r.Deadlined {
+			note = "  [503 deadlined]"
+		}
+		fmt.Printf("  %-4s %-16s %8d bytes  %.4f ms%s\n", r.Kind, r.File, r.Size, r.IOTimeMS(), note)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/simdisk"
 	"repro/internal/tracegen"
+	"repro/internal/webserver"
 )
 
 // Options parameterizes the experiment registry. Zero fields take the
@@ -46,6 +47,19 @@ type Options struct {
 	// DiskQueue selects private per-session disk-timing views (the
 	// default) or one shared contended queue across all sessions.
 	DiskQueue fsim.DiskQueueMode
+	// Faults is the per-disk device fault plan (slowdowns, latent sector
+	// errors, whole-device failures on simulated time) every simulated
+	// store in the registry is built with. Nil keeps a healthy array.
+	Faults *simdisk.FaultPlan
+	// Inject is the seeded op-level fault schedule store sessions roll;
+	// the zero spec injects nothing.
+	Inject fsim.InjectSpec
+	// Retry is the sessions' recovery policy: bounded retries with
+	// simulated-time exponential backoff. The zero policy never retries.
+	Retry fsim.RetryPolicy
+	// Shed is the web tier's graceful-degradation policy (admission
+	// control + per-request I/O deadline). The zero policy never sheds.
+	Shed webserver.ShedPolicy
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -86,6 +100,22 @@ func SetOptions(opts Options) {
 		current.DiskQueue = fsim.DiskQueuePrivate
 		fsim.SetDefaultDiskQueue(fsim.DiskQueuePrivate)
 	}
+	// The fault plan's geometry (disk indices, RAID level) is validated
+	// against each store when it is built; only the spec-level invariants
+	// are checked here, with the invalid value dropped like the above.
+	fsim.SetDefaultFaults(current.Faults)
+	if err := current.Inject.Validate(); err != nil {
+		current.Inject = fsim.InjectSpec{}
+	}
+	fsim.SetDefaultInject(current.Inject)
+	if err := current.Retry.Validate(); err != nil {
+		current.Retry = fsim.RetryPolicy{}
+	}
+	fsim.SetDefaultRetry(current.Retry)
+	if err := current.Shed.Validate(); err != nil {
+		current.Shed = webserver.ShedPolicy{}
+	}
+	webserver.SetDefaultShed(current.Shed)
 }
 
 // fillDefaults replaces zero fields with defaults.
@@ -119,6 +149,10 @@ type configJSON struct {
 	WritebackHighwater *int     `json:"writeback_highwater"`
 	SchedPolicy        *string  `json:"sched_policy"`
 	DiskQueue          *string  `json:"disk_queue"`
+	Faults             *string  `json:"faults"`
+	Inject             *string  `json:"inject"`
+	Retry              *string  `json:"retry"`
+	Shed               *string  `json:"shed"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -198,6 +232,34 @@ func LoadOptions(r io.Reader) (Options, error) {
 			return Options{}, fmt.Errorf("core: %w", err)
 		}
 		opts.DiskQueue = mode
+	}
+	if cfg.Faults != nil {
+		plan, err := simdisk.ParseFaultPlan(*cfg.Faults)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.Faults = plan
+	}
+	if cfg.Inject != nil {
+		spec, err := fsim.ParseInjectSpec(*cfg.Inject)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.Inject = spec
+	}
+	if cfg.Retry != nil {
+		pol, err := fsim.ParseRetrySpec(*cfg.Retry)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.Retry = pol
+	}
+	if cfg.Shed != nil {
+		shed, err := webserver.ParseShedPolicy(*cfg.Shed)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		opts.Shed = shed
 	}
 	if err := opts.Machine.Validate(); err != nil {
 		return Options{}, err

@@ -127,6 +127,17 @@ type Config struct {
 	// default, bit-identical to the original model) or one shared
 	// contended queue across every session's lane; see DiskQueueMode.
 	DiskQueue DiskQueueMode
+	// Faults schedules device faults on every disk view the store builds
+	// (the shared array, the contended queue's array, the write-back
+	// view, and each session's private view), activating on virtual time
+	// so faulted replays are bit-identical. Nil injects nothing.
+	Faults *simdisk.FaultPlan
+	// Inject schedules deterministic op-level fault injection on session
+	// operations; see InjectSpec. The zero spec injects nothing.
+	Inject InjectSpec
+	// Retry bounds session recovery from transient injected faults with
+	// simulated-time exponential backoff; see RetryPolicy.
+	Retry RetryPolicy
 }
 
 // ShardedConfig is DefaultConfig with the page cache lock-striped for the
@@ -162,6 +173,9 @@ func DefaultConfig() Config {
 		Disks:            1,
 		StripeUnit:       64 << 10,
 		DiskQueue:        DefaultDiskQueue(),
+		Faults:           DefaultFaults(),
+		Inject:           DefaultInject(),
+		Retry:            DefaultRetry(),
 	}
 }
 
@@ -180,6 +194,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fsim: invalid disk-queue mode %d", int(c.DiskQueue))
 	}
 	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(c.Disks, c.RAIDLevel); err != nil {
+		return err
+	}
+	if err := c.Inject.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
 		return err
 	}
 	return c.Disk.Validate()
@@ -247,6 +270,12 @@ type FileStore struct {
 	sessions []*Session
 	// retired accumulates the disk statistics of released sessions.
 	retired simdisk.Stats
+	// retiredRec accumulates released sessions' recovery counters.
+	retiredRec RecoveryStats
+	// sessSeq numbers sessions (the injection schedule's session key).
+	sessSeq atomic.Int64
+	// injEnabled caches Inject.Enabled(): the per-op gate's one branch.
+	injEnabled bool
 }
 
 // NewFileStore builds a simulated store. It returns an error for invalid
@@ -265,16 +294,23 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	}
 	tl := clock.NewTimeline(time.Unix(0, 0))
 	s := &FileStore{
-		cfg:       cfg,
-		tl:        tl,
-		clk:       tl.NewLane(),
-		cache:     cache,
-		array:     array,
-		extentGap: cfg.Cache.PageSize, // extents are page-aligned and disjoint
+		cfg:        cfg,
+		tl:         tl,
+		clk:        tl.NewLane(),
+		cache:      cache,
+		array:      array,
+		extentGap:  cfg.Cache.PageSize, // extents are page-aligned and disjoint
+		injEnabled: cfg.Inject.Enabled(),
+	}
+	// Device faults activate on virtual offsets from the timeline start,
+	// so every disk view the store builds degrades identically.
+	if err := array.ApplyFaultPlan(tl.Start(), cfg.Faults); err != nil {
+		return nil, err
 	}
 	// The default session runs on the default lane, the shared array, and
 	// the cache's default I/O context: plain store calls behave exactly
-	// like the pre-session store.
+	// like the pre-session store. It never injects op-level faults —
+	// provisioning and setup traffic stays clean; see NewSession.
 	s.def = &Session{store: s, clk: s.clk, io: cache.DefaultIO(), array: array}
 	// Shared disk-queue mode: sessions' requests meet in one contended
 	// queue over one array, ordered by the configured scheduling policy.
@@ -283,6 +319,9 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	if cfg.DiskQueue == DiskQueueShared {
 		qArray, err := simdisk.NewArrayLevel(cfg.Disks, cfg.StripeUnit, cfg.RAIDLevel, cfg.Disk)
 		if err != nil {
+			return nil, err
+		}
+		if err := qArray.ApplyFaultPlan(tl.Start(), cfg.Faults); err != nil {
 			return nil, err
 		}
 		s.qArray = qArray
@@ -294,6 +333,9 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	if cfg.Cache.WritebackThreshold > 0 {
 		wbArray, err := simdisk.NewArrayLevel(cfg.Disks, cfg.StripeUnit, cfg.RAIDLevel, cfg.Disk)
 		if err != nil {
+			return nil, err
+		}
+		if err := wbArray.ApplyFaultPlan(tl.Start(), cfg.Faults); err != nil {
 			return nil, err
 		}
 		cache.SetWritebackBackend(wbArray)

@@ -1,0 +1,118 @@
+package fsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/simdisk"
+	"repro/internal/simdisk/sharedq"
+)
+
+// ArrayRebuild drives a failed member's reconstruction onto a spare
+// through the store's disk path. In shared disk-queue mode the
+// reconstruction reads are submitted on a dedicated queue lane, so
+// rebuild traffic contends with every foreground session in the merged
+// dispatch — the rebuild-vs-foreground interference the ablation
+// measures. In private-view mode the reads run against the store's
+// shared array (the default lane's view).
+//
+// Lifecycle: BeginRebuild before foreground workers start (the lane
+// must join the merge at a deterministic point), Run concurrently with
+// them (it blocks until the copy completes on simulated time), and
+// Finish only after foreground lanes quiesce — promotion heals the
+// member in place, and doing it mid-run would make subsequent timings
+// depend on wall-clock interleaving.
+type ArrayRebuild struct {
+	store *FileStore
+	rb    *simdisk.Rebuild
+	port  simdisk.AccessPort
+	lane  *sharedq.Lane
+	clk   *clock.VirtualClock
+	start time.Time
+	end   time.Time
+}
+
+// BeginRebuild prepares the reconstruction of member failed, covering
+// every extent allocated so far. The member is typically dead under the
+// configured fault plan, but rebuilding a live (e.g. merely slowed)
+// member is allowed — the copy then reads it directly.
+func (s *FileStore) BeginRebuild(failed int) (*ArrayRebuild, error) {
+	used := s.nextBase.Load()
+	r := &ArrayRebuild{store: s, clk: s.tl.NewLane()}
+	r.start = r.clk.Now()
+	if s.queue != nil {
+		rb, err := s.qArray.NewRebuild(failed, used)
+		if err != nil {
+			s.tl.ReleaseLane(r.clk)
+			return nil, err
+		}
+		r.rb = rb
+		r.lane = s.queue.NewLane(r.clk.Now())
+		r.port = r.lane
+		return r, nil
+	}
+	rb, err := s.array.NewRebuild(failed, used)
+	if err != nil {
+		s.tl.ReleaseLane(r.clk)
+		return nil, err
+	}
+	r.rb = rb
+	r.port = s.array
+	return r, nil
+}
+
+// Run drives the whole copy on the rebuild's own lane: each block's
+// reconstruction read flows through the store's disk path (contending
+// in the shared queue when one is configured) and its spare write
+// chains after. It returns the simulated completion time and parks the
+// lane, so a finished rebuild never gates the event merge.
+func (r *ArrayRebuild) Run() time.Time {
+	end := r.rb.Run(r.clk.Now(), r.port)
+	r.clk.Set(end)
+	r.end = end
+	if r.lane != nil {
+		r.lane.Park()
+	}
+	return end
+}
+
+// End returns the copy's completion time (zero before Run finishes).
+func (r *ArrayRebuild) End() time.Time { return r.end }
+
+// Elapsed returns the copy's simulated duration (zero before Run
+// finishes).
+func (r *ArrayRebuild) Elapsed() time.Duration {
+	if r.end.IsZero() {
+		return 0
+	}
+	return r.end.Sub(r.start)
+}
+
+// Rows returns how many blocks the rebuild covers.
+func (r *ArrayRebuild) Rows() int64 { return r.rb.Rows() }
+
+// Spare exposes the spare disk for stats inspection before Finish.
+func (r *ArrayRebuild) Spare() *simdisk.Disk { return r.rb.Spare() }
+
+// Finish promotes the spare into the member (clearing its fault state
+// and folding the rebuild statistics into the array) and retires the
+// rebuild's lane into the timeline floor, preserving aggregate elapsed
+// time. Call it only after Run returned and foreground lanes quiesced.
+func (r *ArrayRebuild) Finish() error {
+	if !r.rb.Done() {
+		return fmt.Errorf("fsim: rebuild incomplete")
+	}
+	if err := r.rb.Finish(); err != nil {
+		return err
+	}
+	if r.lane != nil {
+		r.lane.Release()
+		r.lane = nil
+	}
+	if r.clk != nil {
+		r.store.tl.ReleaseLane(r.clk)
+		r.clk = nil
+	}
+	return nil
+}

@@ -32,6 +32,16 @@ type Session struct {
 	io    *buffercache.IO
 	array *simdisk.Array // private timing view (the shared array for the default session; nil in shared-queue mode)
 	lane  *sharedq.Lane  // shared-queue port (nil in private mode)
+
+	// Fault-injection state (recovery.go): the session's schedule key,
+	// its operation counter, the remaining fault budget (-1 unlimited),
+	// and its recovery tally. injectable is false for the default session
+	// — setup traffic never injects — and when injection is disabled.
+	id         int64
+	opSeq      uint64
+	budget     int64
+	injectable bool
+	rec        recCounters
 }
 
 var (
@@ -59,7 +69,19 @@ func (s *FileStore) NewSession() *Session {
 		if err != nil {
 			panic(fmt.Sprintf("fsim: session array from validated config: %v", err))
 		}
+		// The private view degrades under the same device-fault plan as
+		// every other view; the configuration was validated, so applying
+		// the plan cannot fail either.
+		if err := array.ApplyFaultPlan(s.tl.Start(), s.cfg.Faults); err != nil {
+			panic(fmt.Sprintf("fsim: session fault plan from validated config: %v", err))
+		}
 		sess = &Session{store: s, clk: clk, io: s.cache.NewIO(array), array: array}
+	}
+	sess.id = s.sessSeq.Add(1)
+	sess.injectable = s.injEnabled
+	sess.budget = -1 // unlimited
+	if s.cfg.Inject.Budget > 0 {
+		sess.budget = s.cfg.Inject.Budget
 	}
 	s.sessMu.Lock()
 	s.sessions = append(s.sessions, sess)
@@ -85,6 +107,7 @@ func (sess *Session) Release() {
 			if sess.array != nil {
 				s.retired.Add(sess.array.TotalStats())
 			}
+			s.retiredRec.Add(sess.rec.snapshot())
 			break
 		}
 	}
@@ -130,8 +153,12 @@ func (sess *Session) Elapsed() time.Duration { return sess.clk.Now().Sub(sess.st
 // fresh extent is allocated.
 func (sess *Session) Create(name string, data []byte) (time.Duration, error) {
 	s := sess.store
-	now := sess.clk.Now()
-	sess.advance(now)
+	start := sess.clk.Now()
+	sess.advance(start)
+	now, ferr := sess.opStart(start, OpCreate)
+	if ferr != nil {
+		return now.Sub(start), ferr
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	meta, ok := s.lookup(name)
@@ -164,7 +191,7 @@ func (sess *Session) Create(name string, data []byte) (time.Duration, error) {
 		done, _ = s.cache.WriteIO(sess.io, done, meta.base, int64(len(data)))
 	}
 	sess.clk.Set(done)
-	return done.Sub(now), nil
+	return done.Sub(start), nil
 }
 
 // CreateSized makes (or replaces) a sparse file of the given logical
@@ -174,13 +201,17 @@ func (sess *Session) CreateSized(name string, size int64) (time.Duration, error)
 		return 0, &fs.PathError{Op: "create", Path: name, Err: fmt.Errorf("fsim: negative size %d", size)}
 	}
 	s := sess.store
-	now := sess.clk.Now()
-	sess.advance(now)
+	start := sess.clk.Now()
+	sess.advance(start)
+	now, ferr := sess.opStart(start, OpCreate)
+	if ferr != nil {
+		return now.Sub(start), ferr
+	}
 	meta := &fileMeta{name: name, base: s.allocExtent(size), sparse: true, size: size}
 	s.files.Store(name, meta)
 	done := now.Add(s.cfg.CreateCost)
 	sess.clk.Set(done)
-	return done.Sub(now), nil
+	return done.Sub(start), nil
 }
 
 // Open opens an existing file on this lane.
@@ -190,8 +221,12 @@ func (sess *Session) Open(name string) (File, time.Duration, error) {
 	if !ok {
 		return nil, 0, &fs.PathError{Op: "open", Path: name, Err: ErrNotExist}
 	}
-	now := sess.clk.Now()
-	sess.advance(now)
+	start := sess.clk.Now()
+	sess.advance(start)
+	now, ferr := sess.opStart(start, OpOpen)
+	if ferr != nil {
+		return nil, now.Sub(start), ferr
+	}
 	done := now.Add(s.cfg.OpenCost)
 	sess.clk.Set(done)
 	// Background warm-up of the first pages (§3.4): occupies the cache and
@@ -205,22 +240,31 @@ func (sess *Session) Open(name string) (File, time.Duration, error) {
 			s.cache.ReadIO(sess.io, done, meta.base, warm)
 		}
 	}
-	return &simFile{store: s, sess: sess, meta: meta}, done.Sub(now), nil
+	return &simFile{store: s, sess: sess, meta: meta}, done.Sub(start), nil
 }
 
 // Remove deletes name on this lane, dropping its directory entry.
 func (sess *Session) Remove(name string) (time.Duration, error) {
 	s := sess.store
+	if !s.Exists(name) {
+		return 0, &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
+	}
+	start := sess.clk.Now()
+	sess.advance(start)
+	// The fault gate runs before the namespace mutates: a failed remove
+	// leaves the file in place, as a failed directory update would.
+	now, ferr := sess.opStart(start, OpRemove)
+	if ferr != nil {
+		return now.Sub(start), ferr
+	}
 	if _, ok := s.files.LoadAndDelete(name); !ok {
 		return 0, &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
 	}
-	now := sess.clk.Now()
-	sess.advance(now)
 	// Dropping the directory entry costs like a create; the extent's
 	// cached pages become dead weight the LRU will reclaim naturally.
 	done := now.Add(s.cfg.CreateCost)
 	sess.clk.Set(done)
-	return done.Sub(now), nil
+	return done.Sub(start), nil
 }
 
 // Stat reports name's logical size, billed on this lane like an Open —
@@ -232,11 +276,15 @@ func (sess *Session) Stat(name string) (int64, time.Duration, error) {
 	if !ok {
 		return 0, 0, &fs.PathError{Op: "stat", Path: name, Err: ErrNotExist}
 	}
-	now := sess.clk.Now()
-	sess.advance(now)
+	start := sess.clk.Now()
+	sess.advance(start)
+	now, ferr := sess.opStart(start, OpStat)
+	if ferr != nil {
+		return 0, now.Sub(start), ferr
+	}
 	done := now.Add(s.cfg.OpenCost)
 	sess.clk.Set(done)
-	return meta.length(), done.Sub(now), nil
+	return meta.length(), done.Sub(start), nil
 }
 
 // Exists reports whether name exists (untimed, like a stat cache hit).
@@ -292,8 +340,12 @@ func (f *simFile) Read(p []byte) (int, time.Duration, error) {
 		// sample file sparse, so this zero-fill IS the wall-clock data path.
 		clear(p[:n])
 	}
-	now := f.sess.clk.Now()
-	f.sess.advance(now)
+	start := f.sess.clk.Now()
+	f.sess.advance(start)
+	now, ferr := f.sess.opStart(start, OpRead)
+	if ferr != nil {
+		return 0, now.Sub(start), ferr
+	}
 	done, _ := f.store.cache.ReadIO(f.sess.io, now, m.base+f.pos, n)
 	f.sess.clk.Set(done)
 	f.pos += n
@@ -301,7 +353,7 @@ func (f *simFile) Read(p []byte) (int, time.Duration, error) {
 	if n < int64(len(p)) {
 		err = io.EOF
 	}
-	return int(n), done.Sub(now), err
+	return int(n), done.Sub(start), err
 }
 
 // Write stores p at the current position, growing the file as needed.
@@ -311,6 +363,14 @@ func (f *simFile) Write(p []byte) (int, time.Duration, error) {
 	}
 	s := f.store
 	m := f.meta
+	start := f.sess.clk.Now()
+	f.sess.advance(start)
+	// The fault gate runs before the contents mutate: a failed write
+	// leaves the file untouched.
+	now, ferr := f.sess.opStart(start, OpWrite)
+	if ferr != nil {
+		return 0, now.Sub(start), ferr
+	}
 	end := f.pos + int64(len(p))
 	m.mu.Lock()
 	if end > s.extentCap(m) {
@@ -342,13 +402,11 @@ func (f *simFile) Write(p []byte) (int, time.Duration, error) {
 		m.size = int64(len(m.data))
 	}
 	m.mu.Unlock()
-	now := f.sess.clk.Now()
-	f.sess.advance(now)
 	done, _ := s.cache.WriteIO(f.sess.io, now, m.base+f.pos, int64(len(p)))
 	f.sess.clk.Set(done)
 	f.pos = end
 	f.wrote = true
-	return len(p), done.Sub(now), nil
+	return len(p), done.Sub(start), nil
 }
 
 // SeekTo repositions the handle. Seeking to a non-resident page charges
@@ -358,7 +416,8 @@ func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error)
 	if f.closed {
 		return 0, 0, ErrClosed
 	}
-	f.sess.advance(f.sess.clk.Now())
+	start := f.sess.clk.Now()
+	f.sess.advance(start)
 	length := f.meta.length()
 	var target int64
 	switch whence {
@@ -374,18 +433,20 @@ func (f *simFile) SeekTo(offset int64, whence int) (int64, time.Duration, error)
 	if target < 0 {
 		return f.pos, 0, &fs.PathError{Op: "seek", Path: f.meta.name, Err: fmt.Errorf("fsim: negative seek position %d", target)}
 	}
+	now, ferr := f.sess.opStart(start, OpSeek)
+	if ferr != nil {
+		return f.pos, now.Sub(start), ferr
+	}
 	cost := f.store.cfg.SeekCost
 	if target < length && !f.store.cache.Resident(f.meta.base+target) {
 		cost += f.store.cfg.SeekPrefetchInit
 		// Kick off background read-ahead at the target; not charged.
-		now := f.sess.clk.Now()
 		f.store.cache.ReadIO(f.sess.io, now, f.meta.base+target, f.store.cfg.Cache.PageSize)
 	}
-	now := f.sess.clk.Now()
 	done := now.Add(cost)
 	f.sess.clk.Set(done)
 	f.pos = target
-	return target, done.Sub(now), nil
+	return target, done.Sub(start), nil
 }
 
 // Close releases the handle. Without background write-back it flushes

@@ -101,7 +101,9 @@ func (p Params) rotation() time.Duration {
 	return time.Duration(float64(time.Minute) / float64(p.RPM))
 }
 
-// Stats counts a disk's activity.
+// Stats counts a disk's activity. The recovery counters (everything from
+// SlowdownTime down) stay zero on a healthy disk, so fault-free runs are
+// unchanged by their presence.
 type Stats struct {
 	Reads, Writes   int64
 	BytesRead       int64
@@ -111,6 +113,24 @@ type Stats struct {
 	TransferTime    time.Duration
 	BusyTime        time.Duration
 	QueueWaitedTime time.Duration
+	// SlowdownTime is service-time inflation charged by active slowdown
+	// faults (already included in BusyTime).
+	SlowdownTime time.Duration
+	// MediaErrors counts read attempts that landed on a poisoned range:
+	// the mechanical motion was billed, then the typed error surfaced.
+	MediaErrors int64
+	// DegradedReads counts mirror-failover reads this disk served for a
+	// faulted peer (RAID1 degraded mode).
+	DegradedReads int64
+	// ReconstructReads counts survivor reads this disk served to
+	// reconstruct a lost block (RAID5 degraded mode and rebuilds).
+	ReconstructReads int64
+	// RebuildWrites counts blocks written onto this disk as a rebuild
+	// spare.
+	RebuildWrites int64
+	// Unrecoverable counts requests redundancy could not absorb (double
+	// faults); they are served best-effort and counted here.
+	Unrecoverable int64
 }
 
 // Ops returns the total operation count.
@@ -127,6 +147,12 @@ func (s *Stats) Add(other Stats) {
 	s.TransferTime += other.TransferTime
 	s.BusyTime += other.BusyTime
 	s.QueueWaitedTime += other.QueueWaitedTime
+	s.SlowdownTime += other.SlowdownTime
+	s.MediaErrors += other.MediaErrors
+	s.DegradedReads += other.DegradedReads
+	s.ReconstructReads += other.ReconstructReads
+	s.RebuildWrites += other.RebuildWrites
+	s.Unrecoverable += other.Unrecoverable
 }
 
 // Disk is one simulated drive. Methods are safe for concurrent use; the
@@ -150,6 +176,9 @@ type Disk struct {
 	headPos   int64     // current head byte offset
 	busyUntil time.Time // completion time of the last accepted request
 	stats     Stats
+	// flt holds scheduled faults; nil on a healthy disk, so the fault
+	// machinery costs the access paths exactly one nil check.
+	flt *diskFaults
 }
 
 // New returns a disk with the given parameters. It returns an error if the
@@ -285,6 +314,12 @@ func (d *Disk) accessLocked(now time.Time, req Request) (done time.Time, service
 		d.stats.QueueWaitedTime += d.busyUntil.Sub(start)
 		start = d.busyUntil
 	}
+	if d.flt != nil {
+		if pen := d.flt.penaltyAt(start); pen > 0 {
+			service += pen
+			d.stats.SlowdownTime += pen
+		}
+	}
 	done = start.Add(service)
 	d.busyUntil = done
 	d.headPos = d.headAfter(off, req.Length)
@@ -394,6 +429,12 @@ func (d *Disk) AccessRun(now time.Time, r Run) (done time.Time, service time.Dur
 		if d.busyUntil.After(start) {
 			waitSum += d.busyUntil.Sub(start)
 			start = d.busyUntil
+		}
+		if d.flt != nil {
+			if pen := d.flt.penaltyAt(start); pen > 0 {
+				svc += pen
+				d.stats.SlowdownTime += pen
+			}
 		}
 		done = start.Add(svc)
 		d.busyUntil = done

@@ -1,0 +1,120 @@
+package simdisk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseFaultPlan parses the compact fault-plan grammar the command-line
+// flags and JSON config use. Faults are comma-separated; each is
+//
+//	fail:<disk>@<at>                      whole-device failure
+//	slow:<disk>@<at>+<penalty>[..<until>] transient slowdown
+//	media:<disk>@<at>:<offset>+<length>   latent sector range
+//
+// where <at>, <penalty>, <until> are Go durations on the virtual clock
+// ("0s", "1ms", "2.5s") and <offset>/<length> are byte counts. An empty
+// string parses to a nil plan (no faults).
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var plan FaultPlan
+	for _, part := range strings.Split(s, ",") {
+		f, err := parseFault(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: %w", part, err)
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return &plan, nil
+}
+
+func parseFault(s string) (Fault, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Fault{}, fmt.Errorf("want kind:disk@..., got %q", s)
+	}
+	diskStr, spec, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("missing @<at> in %q", s)
+	}
+	disk, err := strconv.Atoi(diskStr)
+	if err != nil {
+		return Fault{}, fmt.Errorf("disk index %q: %w", diskStr, err)
+	}
+	f := Fault{Disk: disk}
+	switch kind {
+	case "fail":
+		f.Kind = FaultDevice
+		if f.At, err = time.ParseDuration(spec); err != nil {
+			return Fault{}, fmt.Errorf("activation %q: %w", spec, err)
+		}
+	case "slow":
+		f.Kind = FaultSlowdown
+		atStr, penStr, ok := strings.Cut(spec, "+")
+		if !ok {
+			return Fault{}, fmt.Errorf("slowdown needs @<at>+<penalty>, got %q", spec)
+		}
+		if f.At, err = time.ParseDuration(atStr); err != nil {
+			return Fault{}, fmt.Errorf("activation %q: %w", atStr, err)
+		}
+		if untilIdx := strings.Index(penStr, ".."); untilIdx >= 0 {
+			if f.Until, err = time.ParseDuration(penStr[untilIdx+2:]); err != nil {
+				return Fault{}, fmt.Errorf("until %q: %w", penStr[untilIdx+2:], err)
+			}
+			penStr = penStr[:untilIdx]
+		}
+		if f.Penalty, err = time.ParseDuration(penStr); err != nil {
+			return Fault{}, fmt.Errorf("penalty %q: %w", penStr, err)
+		}
+	case "media":
+		f.Kind = FaultMedia
+		atStr, rangeStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			return Fault{}, fmt.Errorf("media needs @<at>:<offset>+<length>, got %q", spec)
+		}
+		if f.At, err = time.ParseDuration(atStr); err != nil {
+			return Fault{}, fmt.Errorf("activation %q: %w", atStr, err)
+		}
+		offStr, lenStr, ok := strings.Cut(rangeStr, "+")
+		if !ok {
+			return Fault{}, fmt.Errorf("media range needs <offset>+<length>, got %q", rangeStr)
+		}
+		if f.Offset, err = strconv.ParseInt(offStr, 10, 64); err != nil {
+			return Fault{}, fmt.Errorf("offset %q: %w", offStr, err)
+		}
+		if f.Length, err = strconv.ParseInt(lenStr, 10, 64); err != nil {
+			return Fault{}, fmt.Errorf("length %q: %w", lenStr, err)
+		}
+	default:
+		return Fault{}, fmt.Errorf("unknown fault kind %q (want fail, slow, or media)", kind)
+	}
+	return f, f.Validate()
+}
+
+// String renders the plan back into the ParseFaultPlan grammar.
+func (p *FaultPlan) String() string {
+	if p == nil || len(p.Faults) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Faults))
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case FaultDevice:
+			parts = append(parts, fmt.Sprintf("fail:%d@%v", f.Disk, f.At))
+		case FaultSlowdown:
+			s := fmt.Sprintf("slow:%d@%v+%v", f.Disk, f.At, f.Penalty)
+			if f.Until != 0 {
+				s += ".." + f.Until.String()
+			}
+			parts = append(parts, s)
+		case FaultMedia:
+			parts = append(parts, fmt.Sprintf("media:%d@%v:%d+%d", f.Disk, f.At, f.Offset, f.Length))
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -2,6 +2,7 @@ package simdisk
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -36,6 +37,20 @@ func (l Level) String() string {
 	default:
 		return fmt.Sprintf("level(%d)", int(l))
 	}
+}
+
+// ParseLevel parses a redundancy level name ("raid0", "raid1", "raid5",
+// or the bare digit), for flags.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "raid0", "0", "":
+		return RAID0, nil
+	case "raid1", "1":
+		return RAID1, nil
+	case "raid5", "5":
+		return RAID5, nil
+	}
+	return RAID0, fmt.Errorf("simdisk: unknown RAID level %q (want raid0 | raid1 | raid5)", s)
 }
 
 // NewArrayLevel builds an array with the given redundancy level. RAID5
@@ -96,18 +111,57 @@ func (a *Array) accessLeveled(now time.Time, req Request) time.Time {
 // accessMirrored serves RAID-1: reads go to one member chosen by stripe
 // rotation (spreading load deterministically); writes go to every member
 // and complete when the slowest mirror does.
+//
+// Degraded mode: a read whose chosen member is faulted fails over to the
+// next surviving mirror in rotation order. A media-error attempt is
+// billed on the faulted member (the motion was spent) and the failover
+// chains after it; a dead member bills nothing and the failover starts
+// at the original time. Writes skip dead members — the surviving mirrors
+// carry the data. With no faults injected every branch below reduces to
+// the healthy path bit for bit.
 func (a *Array) accessMirrored(now time.Time, req Request) time.Time {
+	n := len(a.disks)
 	if !req.Write {
-		member := int(req.Offset / a.stripeUnit % int64(len(a.disks)))
-		done, _ := a.disks[member].Access(now, Request{Offset: req.Offset, Length: req.Length})
-		return done
+		member := int(req.Offset / a.stripeUnit % int64(n))
+		at := now
+		var last time.Time
+		for k := 0; k < n; k++ {
+			m := (member + k) % n
+			done, err := a.disks[m].accessChecked(at, Request{Offset: req.Offset, Length: req.Length})
+			if err == nil {
+				if k > 0 {
+					a.disks[m].addRecovery(1, 0, 0, 0)
+				}
+				return done
+			}
+			if !done.IsZero() {
+				// Media error: the failed attempt completed mechanically;
+				// the next mirror is tried after it.
+				at = done
+				last = done
+			}
+		}
+		// Every mirror refused: double fault, absorbed best-effort.
+		a.disks[member].addRecovery(0, 0, 0, 1)
+		if last.IsZero() {
+			return now
+		}
+		return last
 	}
 	done := now
+	wrote := false
 	for _, d := range a.disks {
-		mirrorDone, _ := d.Access(now, Request{Offset: req.Offset, Length: req.Length, Write: true})
+		mirrorDone, err := d.accessChecked(now, Request{Offset: req.Offset, Length: req.Length, Write: true})
+		if err != nil {
+			continue
+		}
+		wrote = true
 		if mirrorDone.After(done) {
 			done = mirrorDone
 		}
+	}
+	if !wrote {
+		a.disks[0].addRecovery(0, 0, 0, 1)
 	}
 	return done
 }
@@ -141,27 +195,175 @@ func (a *Array) accessParity(now time.Time, req Request) time.Time {
 			disk++
 		}
 		phys := row*a.stripeUnit + within
+		var pieceDone time.Time
 		if !req.Write {
-			pieceDone, _ := a.disks[disk].Access(now, Request{Offset: phys, Length: pieceLen})
-			if pieceDone.After(done) {
-				done = pieceDone
-			}
+			pieceDone = a.parityRead(now, disk, parityDisk, phys, pieceLen)
 		} else {
-			// Read-modify-write: old data + old parity, then new data +
-			// new parity. The two member chains run concurrently.
-			dOld, _ := a.disks[disk].Access(now, Request{Offset: phys, Length: pieceLen})
-			dNew, _ := a.disks[disk].Access(dOld, Request{Offset: phys, Length: pieceLen, Write: true})
-			pOld, _ := a.disks[parityDisk].Access(now, Request{Offset: phys, Length: pieceLen})
-			pNew, _ := a.disks[parityDisk].Access(pOld, Request{Offset: phys, Length: pieceLen, Write: true})
-			if dNew.After(done) {
-				done = dNew
-			}
-			if pNew.After(done) {
-				done = pNew
-			}
+			pieceDone = a.parityWrite(now, disk, parityDisk, phys, pieceLen)
+		}
+		if pieceDone.After(done) {
+			done = pieceDone
 		}
 		off += pieceLen
 		remaining -= pieceLen
+	}
+	return done
+}
+
+// parityRead serves one RAID-5 data-block read. If the target member
+// refuses (media error or dead device), the block is reconstructed from
+// parity plus the surviving members: the same physical range is read
+// from every other member concurrently and the reconstruction completes
+// with the slowest of them — the extra member reads are the degraded-read
+// penalty, billed on the survivors as ReconstructReads. With no faults
+// the single target read below is bit-identical to the healthy path.
+func (a *Array) parityRead(now time.Time, disk, parityDisk int, phys, pieceLen int64) time.Time {
+	done, err := a.disks[disk].accessChecked(now, Request{Offset: phys, Length: pieceLen})
+	if err == nil {
+		return done
+	}
+	at := now
+	if !done.IsZero() {
+		at = done // media attempt billed; reconstruction chains after it
+	}
+	rec := at
+	complete := true
+	for m := range a.disks {
+		if m == disk {
+			continue
+		}
+		end, rerr := a.disks[m].accessChecked(at, Request{Offset: phys, Length: pieceLen})
+		if rerr != nil {
+			complete = false
+			if !end.IsZero() && end.After(rec) {
+				rec = end
+			}
+			continue
+		}
+		a.disks[m].addRecovery(0, 1, 0, 0)
+		if end.After(rec) {
+			rec = end
+		}
+	}
+	if !complete {
+		// A survivor also refused: the block is gone (double fault).
+		a.disks[disk].addRecovery(0, 0, 0, 1)
+	}
+	return rec
+}
+
+// parityWrite serves one RAID-5 data-block write: the read-modify-write
+// sequence (read old data, read old parity, write new data, write new
+// parity; the data and parity member chains run concurrently) when both
+// members cooperate, degrading to reconstruct-writes otherwise:
+//
+//   - old data unreadable: the row's other data members are read
+//     concurrently (ReconstructReads) and the new parity write chains
+//     after the slowest — the write is folded into parity so the lost
+//     member's data stays recoverable. The new data still lands when the
+//     member is merely media-faulted (drives remap on write).
+//   - old parity unreadable: the new data writes normally and the parity
+//     is recomputed the same way from the row's other data members. A
+//     dead parity member simply drops parity maintenance.
+//
+// With no faults injected the healthy branch is bit-identical to the
+// original RMW arithmetic.
+func (a *Array) parityWrite(now time.Time, disk, parityDisk int, phys, pieceLen int64) time.Time {
+	dOld, derr := a.disks[disk].accessChecked(now, Request{Offset: phys, Length: pieceLen})
+	pOld, perr := a.disks[parityDisk].accessChecked(now, Request{Offset: phys, Length: pieceLen})
+	if derr == nil && perr == nil {
+		dNew, dwErr := a.disks[disk].accessChecked(dOld, Request{Offset: phys, Length: pieceLen, Write: true})
+		pNew, pwErr := a.disks[parityDisk].accessChecked(pOld, Request{Offset: phys, Length: pieceLen, Write: true})
+		done := now
+		if dwErr == nil && dNew.After(done) {
+			done = dNew
+		}
+		if pwErr == nil && pNew.After(done) {
+			done = pNew
+		}
+		if dwErr != nil && pwErr != nil {
+			a.disks[disk].addRecovery(0, 0, 0, 1)
+		}
+		return done
+	}
+
+	dataDead := isDeviceFailed(derr)
+	parityDead := isDeviceFailed(perr)
+	done := now
+
+	// rowRead reads the row's other data members concurrently starting
+	// at `at` and returns the slowest completion — the survivor traffic a
+	// reconstruct-write costs.
+	rowRead := func(at time.Time) time.Time {
+		end := at
+		for m := range a.disks {
+			if m == disk || m == parityDisk {
+				continue
+			}
+			mEnd, rerr := a.disks[m].accessChecked(at, Request{Offset: phys, Length: pieceLen})
+			if rerr != nil {
+				a.disks[disk].addRecovery(0, 0, 0, 1)
+				if !mEnd.IsZero() && mEnd.After(end) {
+					end = mEnd
+				}
+				continue
+			}
+			a.disks[m].addRecovery(0, 1, 0, 0)
+			if mEnd.After(end) {
+				end = mEnd
+			}
+		}
+		return end
+	}
+
+	if derr != nil {
+		// Old data unreadable. Fold the write into parity via the row's
+		// survivors, then land the new data if the member still accepts
+		// writes.
+		if !parityDead {
+			at := pOld // the old-parity read already happened on that chain
+			if !dOld.IsZero() && dOld.After(at) {
+				at = dOld // media attempt on the data member billed first
+			}
+			recEnd := rowRead(at)
+			pNew, pwErr := a.disks[parityDisk].accessChecked(recEnd, Request{Offset: phys, Length: pieceLen, Write: true})
+			if pwErr == nil && pNew.After(done) {
+				done = pNew
+			}
+		}
+		if !dataDead {
+			at := now
+			if !dOld.IsZero() {
+				at = dOld
+			}
+			dNew, dwErr := a.disks[disk].accessChecked(at, Request{Offset: phys, Length: pieceLen, Write: true})
+			if dwErr == nil && dNew.After(done) {
+				done = dNew
+			}
+		}
+		if dataDead && parityDead {
+			a.disks[disk].addRecovery(0, 0, 0, 1)
+		}
+		return done
+	}
+
+	// Old parity unreadable; the data member is healthy. The new data
+	// writes normally and the parity is recomputed from the row when the
+	// parity member still accepts writes.
+	dNew, dwErr := a.disks[disk].accessChecked(dOld, Request{Offset: phys, Length: pieceLen, Write: true})
+	if dwErr == nil && dNew.After(done) {
+		done = dNew
+	}
+	if !parityDead {
+		at := now
+		if !pOld.IsZero() {
+			at = pOld // media attempt on the parity member billed first
+		}
+		recEnd := rowRead(at)
+		pNew, pwErr := a.disks[parityDisk].accessChecked(recEnd, Request{Offset: phys, Length: pieceLen, Write: true})
+		if pwErr == nil && pNew.After(done) {
+			done = pNew
+		}
 	}
 	return done
 }

@@ -51,19 +51,67 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
 	ls, hasLanes := rp.store.(laneStore)
+	var recBefore fsim.RecoveryStats
+	recStore, hasRecovery := rp.store.(recoveryStore)
+	if hasRecovery {
+		recBefore = recStore.RecoveryStats()
+	}
 
 	// Each worker replays its own records into a private report; reports
 	// merge afterwards, so no lock sits on the replay hot path.
 	reports := make([]*Report, len(pids))
 	errs := make([]error, len(pids))
 	sessions := make([]*fsim.Session, 0, len(pids))
+	if hasLanes {
+		// Register every worker's lane before any worker runs. Creating
+		// sessions inside the spawn loop races against the workers it has
+		// already started: a shared disk queue dispatches a sole
+		// registered lane inline and advances its queue edge, so under
+		// heavy host load an early worker could run ahead before later
+		// lanes joined — and a late lane floors at the advanced edge,
+		// shifting its timings. Pre-registering the full lane set makes
+		// the merge a pure function of the trace again.
+		for range pids {
+			sessions = append(sessions, ls.NewSession())
+		}
+	}
+	releaseAll := func() {
+		for _, sess := range sessions {
+			sess.Release()
+		}
+	}
+
+	// A requested member rebuild joins before the workers too, for the
+	// same reason: its lane must be part of the merge from the start.
+	var rb *fsim.ArrayRebuild
+	if rp.RebuildMember >= 0 {
+		rs, ok := rp.store.(rebuildStore)
+		if !ok {
+			releaseAll()
+			return nil, fmt.Errorf("tracesim: store %T cannot rebuild a member", rp.store)
+		}
+		var err error
+		if rb, err = rs.BeginRebuild(rp.RebuildMember); err != nil {
+			releaseAll()
+			return nil, fmt.Errorf("tracesim: starting rebuild: %w", err)
+		}
+	}
+
 	var wg sync.WaitGroup
+	if rb != nil {
+		// The copy streams through the store's disk path alongside the
+		// foreground workers, so rebuild-vs-foreground contention lands in
+		// the merged timings.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rb.Run()
+		}()
+	}
 	for i, pid := range pids {
 		st := rp.store
 		if hasLanes {
-			sess := ls.NewSession()
-			sessions = append(sessions, sess)
-			st = sess
+			st = sessions[i]
 		}
 		wg.Add(1)
 		go func(i int, st fsim.Store, recs []*trace.Record) {
@@ -79,9 +127,10 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			for _, sess := range sessions {
-				sess.Release()
+			if rb != nil {
+				rb.Finish()
 			}
+			releaseAll()
 			return nil, err
 		}
 	}
@@ -106,6 +155,18 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 			longest = r.Elapsed
 		}
 	}
+	if rb != nil {
+		// The copy finished with the workers (Run was waited on above);
+		// promote the spare now that the foreground has quiesced —
+		// swapping the member mid-replay would make dispatch order depend
+		// on wall-clock interleaving.
+		merged.RebuildRows = rb.Rows()
+		merged.RebuildTime = rb.Elapsed()
+		if err := rb.Finish(); err != nil {
+			releaseAll()
+			return nil, fmt.Errorf("tracesim: finishing rebuild: %w", err)
+		}
+	}
 	if hasLanes {
 		// Overlap rule: the parallel machine finishes with its slowest
 		// worker, then settles buffered writes (a deterministic elevator
@@ -114,11 +175,12 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		merged.Elapsed = longest + settle
 		// The lanes' final times are folded into the timeline by Release,
 		// so repeated replays on one store do not accumulate dead lanes.
-		for _, sess := range sessions {
-			sess.Release()
-		}
+		releaseAll()
 	} else {
 		merged.Elapsed = merged.WorkerTime
+	}
+	if hasRecovery {
+		merged.Recovery = recStore.RecoveryStats().Sub(recBefore)
 	}
 	// Re-index the merged request rows.
 	for i := range merged.Requests {

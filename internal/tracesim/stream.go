@@ -78,6 +78,11 @@ func (rp *Replayer) ReplayStream(appName string, sc *trace.Scanner) (*Report, er
 		return nil, fmt.Errorf("tracesim: preparing sample file: %w", err)
 	}
 	ls, hasLanes := rp.store.(laneStore)
+	var recBefore fsim.RecoveryStats
+	recStore, hasRecovery := rp.store.(recoveryStore)
+	if hasRecovery {
+		recBefore = recStore.RecoveryStats()
+	}
 	depth := rp.StreamQueueDepth
 	if depth <= 0 {
 		depth = 1024
@@ -190,6 +195,9 @@ func (rp *Replayer) ReplayStream(appName string, sc *trace.Scanner) (*Report, er
 		release()
 	} else {
 		merged.Elapsed = merged.WorkerTime
+	}
+	if hasRecovery {
+		merged.Recovery = recStore.RecoveryStats().Sub(recBefore)
 	}
 	if !merged.SampledRequests {
 		for i := range merged.Requests {

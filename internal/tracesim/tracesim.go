@@ -21,6 +21,20 @@ type sizedCreator interface {
 	CreateSized(name string, size int64) (time.Duration, error)
 }
 
+// recoveryStore is the optional store capability for fault-recovery
+// accounting; *fsim.FileStore implements it. Replays snapshot the tally
+// before and after so the report carries only its own window.
+type recoveryStore interface {
+	RecoveryStats() fsim.RecoveryStats
+}
+
+// rebuildStore is the optional store capability for driving a degraded
+// member's reconstruction alongside a replay; *fsim.FileStore
+// implements it.
+type rebuildStore interface {
+	BeginRebuild(failed int) (*fsim.ArrayRebuild, error)
+}
+
 // RequestTiming is one timed data request, a row of Tables 3-4. For seek
 // records the paper's "data size" column is the seek target offset; for
 // reads and writes it is the transfer length.
@@ -69,6 +83,16 @@ type Report struct {
 	// ThinkTime is the total inter-record wall-clock gap charged by a
 	// paced replay (zero otherwise).
 	ThinkTime time.Duration
+	// Recovery aggregates the store's fault-recovery counters (op-level
+	// injections, retries, recoveries, hard failures) over the replay,
+	// when the store exposes them; zero on fault-free runs.
+	Recovery fsim.RecoveryStats
+	// RebuildTime is the simulated duration of the concurrent member
+	// rebuild a Replayer.RebuildMember >= 0 ran alongside the replay
+	// (zero when none was requested); RebuildRows is how many blocks it
+	// reconstructed.
+	RebuildTime time.Duration
+	RebuildRows int64
 
 	// agg, when non-nil, bounds the report's memory: addRequest feeds the
 	// per-op histograms and a reservoir instead of growing Requests.
@@ -139,11 +163,18 @@ type Replayer struct {
 	// StreamReservoir is the per-worker reservoir capacity when
 	// StreamAggregate is on. Defaults to 4096 rows.
 	StreamReservoir int
+	// RebuildMember, when >= 0 on a rebuild-capable store, runs that
+	// member's reconstruction concurrently with ReplayConcurrent's
+	// workers: the rebuild reads contend with foreground traffic (through
+	// the shared disk queue when one is configured) and the spare is
+	// promoted once the replay quiesces. The report's RebuildTime and
+	// RebuildRows record the copy. -1 (the NewReplayer default) disables.
+	RebuildMember int
 }
 
 // NewReplayer builds a replayer over store.
 func NewReplayer(store fsim.Store) *Replayer {
-	return &Replayer{store: store, SampleFileSize: 1 << 30}
+	return &Replayer{store: store, SampleFileSize: 1 << 30, RebuildMember: -1}
 }
 
 // errNotOpen is returned when a trace issues data operations before open.
@@ -199,6 +230,11 @@ func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
 		return nil, fmt.Errorf("tracesim: preparing sample file: %w", err)
 	}
 	rep := &Report{App: appName}
+	var recBefore fsim.RecoveryStats
+	rs, hasRecovery := rp.store.(recoveryStore)
+	if hasRecovery {
+		recBefore = rs.RecoveryStats()
+	}
 	n := 0
 	for i := range tr.Records {
 		n += dataOpRows(&tr.Records[i])
@@ -231,6 +267,9 @@ func (rp *Replayer) Replay(appName string, tr *trace.Trace) (*Report, error) {
 	}
 	rep.Elapsed = elapsed
 	rep.WorkerTime = elapsed
+	if hasRecovery {
+		rep.Recovery = rs.RecoveryStats().Sub(recBefore)
+	}
 	return rep, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fsim"
@@ -50,6 +51,16 @@ type RequestRecord struct {
 	// IOTime is the file I/O portion of handling the request: stream
 	// construction + data movement + close, the quantity of Tables 5-6.
 	IOTime time.Duration
+	// Status is the HTTP status the request answered with: 200 on
+	// success, 503 when the shed policy refused or abandoned it.
+	Status int
+	// Shed marks a request refused by admission control (no file I/O was
+	// performed; IOTime is zero).
+	Shed bool
+	// Deadlined marks a request whose file I/O exceeded the shed
+	// policy's deadline: the I/O is billed (IOTime carries it) but the
+	// client got a 503 instead of the payload.
+	Deadlined bool
 }
 
 // IOTimeMS returns the I/O time in milliseconds.
@@ -77,6 +88,10 @@ type Config struct {
 	// store's one clock. Off by default: the paper's tables are produced
 	// on the shared clock.
 	Lanes bool
+	// Shed is the graceful-degradation policy (admission control +
+	// per-request I/O deadline). The zero policy never sheds; New folds
+	// in the process default (SetDefaultShed) when left zero.
+	Shed ShedPolicy
 }
 
 // laneStore is the store capability Lanes uses; *fsim.FileStore
@@ -90,6 +105,7 @@ type Server struct {
 	cfg      Config
 	listener net.Listener
 	wg       sync.WaitGroup
+	inFlight atomic.Int64
 
 	mu      sync.Mutex
 	records []RequestRecord
@@ -109,7 +125,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
+	if cfg.Shed == (ShedPolicy{}) {
+		cfg.Shed = DefaultShed()
+	}
+	if err := cfg.Shed.Validate(); err != nil {
+		return nil, err
+	}
 	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// admit applies admission control: it claims an in-flight slot, or
+// reports that the request must be shed. done returns the slot.
+func (s *Server) admit() bool {
+	max := int64(s.cfg.Shed.MaxInFlight)
+	if max <= 0 {
+		return true
+	}
+	if s.inFlight.Add(1) > max {
+		s.inFlight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) done() {
+	if s.cfg.Shed.MaxInFlight > 0 {
+		s.inFlight.Add(-1)
+	}
 }
 
 // track registers a live connection; it reports false when the server is
@@ -262,10 +304,21 @@ func (s *Server) startListen(conn net.Conn) {
 			return
 		}
 		switch req.kind {
-		case KindGet:
-			s.doGet(ns, st, req)
-		case KindPost:
-			s.doPost(ns, st, req)
+		case KindGet, KindPost:
+			if !s.admit() {
+				// Overload: shed before any file I/O so the disk path's
+				// backlog stops growing; the refusal is recorded — the
+				// degradation is part of the measurement.
+				s.record(RequestRecord{Kind: req.kind, File: req.file, Status: 503, Shed: true})
+				writeResponse(ns, 503, "server busy", 0)
+				continue
+			}
+			if req.kind == KindGet {
+				s.doGet(ns, st, req)
+			} else {
+				s.doPost(ns, st, req)
+			}
+			s.done()
 		default:
 			writeResponse(ns, 400, "unsupported method", 0)
 		}
@@ -336,7 +389,12 @@ func (s *Server) doGet(ns *vm.NetworkStream, st fsim.Store, req request) {
 		return
 	}
 	total := openDur + readDur + closeDur
-	s.record(RequestRecord{Kind: KindGet, File: req.file, Size: int64(len(data)), IOTime: total})
+	if d := s.cfg.Shed.Deadline; d > 0 && total > d {
+		s.record(RequestRecord{Kind: KindGet, File: req.file, Size: int64(len(data)), IOTime: total, Status: 503, Deadlined: true})
+		writeResponse(ns, 503, "deadline exceeded", total)
+		return
+	}
+	s.record(RequestRecord{Kind: KindGet, File: req.file, Size: int64(len(data)), IOTime: total, Status: 200})
 	writeDataResponse(ns, data, total)
 }
 
@@ -361,7 +419,12 @@ func (s *Server) doPost(ns *vm.NetworkStream, st fsim.Store, req request) {
 		return
 	}
 	total := createDur + ctorDur + writeDur + closeDur
-	s.record(RequestRecord{Kind: KindPost, File: name, Size: int64(len(req.body)), IOTime: total})
+	if d := s.cfg.Shed.Deadline; d > 0 && total > d {
+		s.record(RequestRecord{Kind: KindPost, File: name, Size: int64(len(req.body)), IOTime: total, Status: 503, Deadlined: true})
+		writeResponse(ns, 503, "deadline exceeded", total)
+		return
+	}
+	s.record(RequestRecord{Kind: KindPost, File: name, Size: int64(len(req.body)), IOTime: total, Status: 200})
 	writeResponse(ns, 200, "stored "+name, total)
 }
 
