@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-cold bench-contention bench-trace bench-faults bench-json stdfs-smoke fmt vet fmt-check ci
+.PHONY: all build test race bench bench-cold bench-contention bench-trace bench-faults bench-avail bench-json stdfs-smoke distfault-smoke fmt vet fmt-check ci
 
 all: build
 
@@ -21,7 +21,7 @@ test:
 # race-instrumented tests.
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -run 'Fuzz' ./internal/trace/ ./internal/buffercache/
+	$(GO) test -race -run 'Fuzz' ./internal/trace/ ./internal/buffercache/ ./internal/simdisk/
 
 # Benchmark smoke: every benchmark runs exactly once so regressions in
 # the harness itself (not perf) surface in CI quickly.
@@ -71,20 +71,34 @@ bench-faults:
 	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf -disks 4 -raid raid5 -faults "fail:1@0s" -inject "seed=7,rate=20,budget=4" -retry "max=4,base=50us"
 	$(GO) run ./cmd/tracebench -app Parallel -workers 8 -concurrent -shards 8 -disk-queue shared -sched sstf -disks 4 -raid raid5 -faults "fail:1@0s" -rebuild 1
 
+# Availability smoke: the distributed fault-tolerance path end to end.
+# The node-kill sweep (consistent-hash failover, RPC deadlines, backoff,
+# the availability curve) must be bit-identical across ten runs under
+# the race detector; then cmd/distbench drives the three ablation legs
+# from the command line — healthy, a server killed at 20 ms, and the
+# kill while every server rebuilds two dead mirror members from a
+# 2-spare pool.
+bench-avail:
+	$(GO) test -race -count=10 -run 'TestNodeKillSweepDeterministic' ./internal/distbench
+	$(GO) run ./cmd/distbench -nodes 8 -servers 3 -requests 32 -deadline 5ms -retry "max=3,base=200us" -curve=false
+	$(GO) run ./cmd/distbench -nodes 8 -servers 3 -requests 32 -deadline 5ms -retry "max=3,base=200us" -net-faults "kill:server0@20ms"
+	$(GO) run ./cmd/distbench -nodes 8 -servers 3 -requests 32 -deadline 5ms -retry "max=3,base=200us" -net-faults "kill:server0@20ms" -disks 3 -raid raid1 -faults "fail:1@0s,fail:2@0s" -spares 2 -rebuild 1,2 -curve=false
+
 # Machine-readable bench trajectory: the hot-path microbenchmarks
 # (including the engine-only miss/evict row and the per-record trace
 # decode/replay rows), the trace-format bytes/record table, the
 # shard/worker scaling, the write-back ablation, the shared-queue
 # contention rows, and the degraded-mode fault_recovery ablation of
-# the simulated-parallel replay. CI uploads the file as an artifact;
+# the simulated-parallel replay, and the distributed availability
+# ablation. CI uploads the file as an artifact;
 # the committed copy tracks the trajectory in-repo and doubles as the
 # regression baseline — the run fails if an engine-only guarded row
 # (cache_warm_read_64k, cache_miss_evict, trace_decode_v1 or
 # trace_decode_v2) regresses more than 25% against it. A failed run
 # leaves the baseline untouched and writes the regressed report to
-# BENCH_8.json.failed.json.
+# BENCH_9.json.failed.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_8.json -baseline BENCH_8.json
+	$(GO) run ./cmd/benchjson -out BENCH_9.json -baseline BENCH_9.json
 
 # End-to-end smoke for the io/fs facade: the example runs unmodified
 # stdlib code (fs.WalkDir, fs.ReadFile, archive/tar) against the
@@ -93,6 +107,14 @@ bench-json:
 # deterministic program.
 stdfs-smoke:
 	$(GO) run ./examples/stdfs
+
+# Distributed-fault smoke: examples/distributed ends with the node-kill
+# demo (three replicas, server0 killed at 20 ms, failover curve), and
+# webbench's degraded mode sheds web-tier load while the RAID1 array
+# rebuilds two members from the spare pool.
+distfault-smoke:
+	$(GO) run ./examples/distributed
+	$(GO) run ./cmd/webbench -mode degraded -addr 127.0.0.1:0 -clients 12 -requests 40
 
 fmt:
 	gofmt -w .
@@ -106,4 +128,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build vet fmt-check test race bench bench-cold bench-contention bench-trace bench-faults stdfs-smoke
+ci: build vet fmt-check test race bench bench-cold bench-contention bench-trace bench-faults bench-avail stdfs-smoke distfault-smoke

@@ -1,6 +1,6 @@
 // Benchjson emits the bench trajectory as machine-readable JSON (`make
-// bench-json` writes BENCH_8.json, CI uploads it and fails on hot-path
-// regressions). Six sections:
+// bench-json` writes BENCH_9.json, CI uploads it and fails on hot-path
+// regressions). Seven sections:
 //
 //   - hot_path: in-process microbenchmarks of the replay engine's wall
 //     hot paths — warm 64 KB reads (dense and sparse), the single-page
@@ -38,11 +38,17 @@
 //     dead member (reads reconstruct from the survivors), with seeded
 //     op-level injection absorbed by retry/backoff, and with the dead
 //     member rebuilding onto a spare through the same contended queue.
-//     Deterministic; the rows are new this release and not under the
-//     -baseline guard.
+//     Deterministic.
+//   - availability: the distributed fault-tolerance ablation — the
+//     fault-aware distbench run (consistent-hash routing, RPC
+//     deadlines, failover with backoff) healthy, with a server node
+//     killed at 20 ms, and with the kill while every server rebuilds
+//     two dead mirror members from a 2-spare pool. The tallies
+//     (timed_out / retried / recovered / lost) and the curve's
+//     dip/peak buckets carry the availability story; deterministic.
 //
 // With -baseline pointing at a previous report (normally the committed
-// BENCH_8.json), the run fails if an engine-only guarded row —
+// BENCH_9.json), the run fails if an engine-only guarded row —
 // cache_warm_read_64k (the warm path), cache_miss_evict (the cold
 // path), or the trace_decode_v1 / trace_decode_v2 per-record decode
 // rows — regressed more than 25%. The guard runs before -out is
@@ -72,8 +78,10 @@ import (
 	"time"
 
 	"repro/internal/buffercache"
+	"repro/internal/distbench"
 	"repro/internal/fsim"
 	"repro/internal/fsim/stdfs"
+	"repro/internal/netsim"
 	"repro/internal/simdisk"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -148,6 +156,32 @@ type faultRow struct {
 	Failed           int64   `json:"failed"`
 }
 
+// availabilityRow is one leg of the availability ablation: the
+// fault-aware distributed benchmark (8 clients x 32 requests against 3
+// replicated servers, 5 ms RPC deadline, consistent-hash failover)
+// healthy, with a server node killed at 20 ms, and with the kill on top
+// of every server concurrently rebuilding two dead mirror members from
+// a 2-spare pool. The dip/peak bucket pair summarizes the availability
+// curve; the tallies carry the failover story.
+type availabilityRow struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	Requests        int64   `json:"requests"`
+	SimMakespanNS   int64   `json:"sim_makespan_ns"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	TimedOut        int64   `json:"timed_out"`
+	Retried         int64   `json:"retried"`
+	Recovered       int64   `json:"recovered"`
+	Lost            int64   `json:"lost"`
+	Dropped         int64   `json:"dropped"`
+	TimeToSteadyMS  float64 `json:"time_to_steady_ms"`
+	DipBucketRPS    float64 `json:"dip_bucket_rps"`
+	PeakBucketRPS   float64 `json:"peak_bucket_rps"`
+	RebuildRows     int64   `json:"rebuild_rows,omitempty"`
+	RebuildMS       float64 `json:"rebuild_ms,omitempty"`
+	RebuildComplete bool    `json:"rebuild_complete,omitempty"`
+}
+
 // traceFormatRow is one (app, encoding) pair's on-disk cost: the encoded
 // size of the generated trace and its bytes/record. v1 is the 48-byte
 // fixed-width legacy layout; v2 is the block-framed columnar encoding the
@@ -161,17 +195,18 @@ type traceFormatRow struct {
 }
 
 type report struct {
-	Bench             string           `json:"bench"`
-	GeneratedBy       string           `json:"generated_by"`
-	TraceApp          string           `json:"trace_app"`
-	FileSize          int64            `json:"file_size_bytes"`
-	Requests          int              `json:"requests"`
-	HotPath           []hotPathRow     `json:"hot_path"`
-	TraceFormat       []traceFormatRow `json:"trace_format,omitempty"`
-	WorkerScaling     []scalingRow     `json:"worker_scaling"`
-	WritebackAblation []ablationRow    `json:"writeback_ablation"`
-	SharedQContention []contentionRow  `json:"sharedq_contention,omitempty"`
-	FaultRecovery     []faultRow       `json:"fault_recovery,omitempty"`
+	Bench             string            `json:"bench"`
+	GeneratedBy       string            `json:"generated_by"`
+	TraceApp          string            `json:"trace_app"`
+	FileSize          int64             `json:"file_size_bytes"`
+	Requests          int               `json:"requests"`
+	HotPath           []hotPathRow      `json:"hot_path"`
+	TraceFormat       []traceFormatRow  `json:"trace_format,omitempty"`
+	WorkerScaling     []scalingRow      `json:"worker_scaling"`
+	WritebackAblation []ablationRow     `json:"writeback_ablation"`
+	SharedQContention []contentionRow   `json:"sharedq_contention,omitempty"`
+	FaultRecovery     []faultRow        `json:"fault_recovery,omitempty"`
+	Availability      []availabilityRow `json:"availability,omitempty"`
 }
 
 // warmReadBenchName is the replay engine's dominant end-to-end
@@ -566,6 +601,93 @@ func faultRecoveryRows(fileSize int64, requests int) ([]faultRow, error) {
 	return rows, nil
 }
 
+// availabilityRows runs the availability ablation. The kill target is
+// server0: with the small web corpus the consistent-hash ring parks
+// some servers without any primary keys, and killing one of those would
+// be invisible; server0 owns keys under this ring, so its death forces
+// deadline expiries and failover.
+func availabilityRows() ([]availabilityRow, error) {
+	base := distbench.DefaultConfig()
+	base.Nodes = 8
+	base.RequestsPerNode = 32
+	base.Servers = 3
+	base.Deadline = 5 * time.Millisecond
+	base.Retry = fsim.RetryPolicy{Max: 3, Base: 200 * time.Microsecond}
+
+	kill, err := netsim.ParseFaultPlan("kill:server0@20ms")
+	if err != nil {
+		return nil, err
+	}
+	killCfg := base
+	killCfg.NetFaults = kill
+
+	rebuildCfg := killCfg
+	rebuildCfg.Store.Disks = 3
+	rebuildCfg.Store.RAIDLevel = simdisk.RAID1
+	rebuildCfg.Store.Spares = 2
+	rebuildCfg.Store.Faults = &simdisk.FaultPlan{Faults: []simdisk.Fault{
+		{Disk: 1, Kind: simdisk.FaultDevice, At: 0},
+		{Disk: 2, Kind: simdisk.FaultDevice, At: 0},
+	}}
+	rebuildCfg.RebuildMembers = []int{1, 2}
+
+	legs := []struct {
+		name string
+		cfg  distbench.Config
+	}{
+		{"healthy", base},
+		{"node_kill", killCfg},
+		{"kill_rebuild", rebuildCfg},
+	}
+	rows := make([]availabilityRow, 0, len(legs))
+	for _, leg := range legs {
+		res, err := distbench.Run(leg.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", leg.name, err)
+		}
+		row := availabilityRow{
+			Name:           leg.name,
+			Nodes:          res.Nodes,
+			Requests:       res.Requests,
+			SimMakespanNS:  res.Makespan.Nanoseconds(),
+			ThroughputRPS:  res.Throughput,
+			TimedOut:       res.TimedOut,
+			Retried:        res.Retried,
+			Recovered:      res.Recovered,
+			Lost:           res.Lost,
+			Dropped:        res.Dropped,
+			TimeToSteadyMS: res.TimeToSteadyMS,
+			RebuildRows:    res.RebuildRows,
+			RebuildMS:      res.RebuildMS,
+		}
+		// Dip = the emptiest bucket after the first completion lands;
+		// leading all-zero buckets are cold start, not disruption.
+		started := false
+		for _, p := range res.Curve {
+			if p.Throughput > row.PeakBucketRPS {
+				row.PeakBucketRPS = p.Throughput
+			}
+			if !started && p.Throughput > 0 {
+				started = true
+				row.DipBucketRPS = p.Throughput
+			}
+			if started && p.Throughput < row.DipBucketRPS {
+				row.DipBucketRPS = p.Throughput
+			}
+		}
+		if len(res.RebuildMembers) > 0 {
+			row.RebuildComplete = true
+			for _, m := range res.RebuildMembers {
+				if m.Rows <= 0 || m.Writes != m.Rows {
+					row.RebuildComplete = false
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // loadBaselineHotPath reads every hot-path row of a previous report,
 // keyed by name. A missing or unreadable file just disables the guard
 // (first run, fresh clone) with a note on stderr.
@@ -591,7 +713,7 @@ func loadBaselineHotPath(path string) map[string]float64 {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_8.json", "output path (\"-\" for stdout)")
+		out      = flag.String("out", "BENCH_9.json", "output path (\"-\" for stdout)")
 		baseline = flag.String("baseline", "", "previous report to guard against (read before -out is written); fail if an engine-only guarded row regresses >25%")
 		fileSize = flag.Int64("filesize", 32<<20, "sample file size in bytes")
 		requests = flag.Int("requests", 256, "total reads across workers")
@@ -705,6 +827,12 @@ func main() {
 		fatal(err)
 	}
 	rep.FaultRecovery = faultRows
+
+	availRows, err := availabilityRows()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Availability = availRows
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

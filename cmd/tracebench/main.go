@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -57,7 +59,8 @@ func main() {
 		faults     = flag.String("faults", "", `device fault plan, e.g. "fail:1@0s,slow:0@1ms+200us..5ms,media:2@0s:4096+8192"`)
 		inject     = flag.String("inject", "", `seeded op-level fault schedule, e.g. "seed=7,rate=40,budget=4,ops=read|write"`)
 		retry      = flag.String("retry", "", `session recovery policy, e.g. "max=3,base=50us"`)
-		rebuild    = flag.Int("rebuild", -1, "rebuild this member onto a spare during -concurrent replay (-1 = off)")
+		rebuild    = flag.String("rebuild", "", `rebuild these members onto spares during -concurrent replay, e.g. "1" or "1,2" (empty = off)`)
+		spares     = flag.Int("spares", 0, "hot-spare pool size the rebuilds draw from (0 = provision ad hoc)")
 	)
 	flag.Parse()
 
@@ -85,8 +88,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *rebuild >= 0 && !*concurrent {
+	rebuildMembers, err := parseMembers(*rebuild)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rebuildMembers) > 0 && !*concurrent {
 		fatal(fmt.Errorf("-rebuild runs alongside -concurrent replay; add -concurrent"))
+	}
+	if *spares < 0 {
+		fatal(fmt.Errorf("-spares must be non-negative"))
 	}
 
 	params := tracegen.Params{SampleFile: "sample-1gb.dat", FileSize: *fileSize, Requests: *requests, Workers: *workers}
@@ -219,6 +229,9 @@ func main() {
 		if *retry != "" {
 			cfg.Retry = retryPolicy
 		}
+		if *spares > 0 {
+			cfg.Spares = *spares
+		}
 		s, err := fsim.NewFileStore(cfg)
 		if err != nil {
 			fatal(err)
@@ -230,7 +243,7 @@ func main() {
 	rp := tracesim.NewReplayer(store)
 	rp.SampleFileSize = *fileSize
 	rp.Paced = *paced
-	rp.RebuildMember = *rebuild
+	rp.RebuildMembers = rebuildMembers
 	var rep *tracesim.Report
 	var replayed int64
 	switch {
@@ -286,8 +299,11 @@ func main() {
 			rec.Injected, rec.Retried, rec.Recovered, rec.Failed)
 	}
 	if rep.RebuildRows > 0 {
-		fmt.Printf("rebuild: member %d reconstructed, %d blocks in %v (simulated)\n",
-			*rebuild, rep.RebuildRows, rep.RebuildTime)
+		for _, m := range rep.RebuildMembers {
+			fmt.Printf("rebuild: member %d reconstructed, %d blocks (%d spare writes)\n",
+				m.Member, m.Rows, m.Writes)
+		}
+		fmt.Printf("rebuild: %d blocks total in %v (simulated)\n", rep.RebuildRows, rep.RebuildTime)
 	}
 	if fs, ok := store.(*fsim.FileStore); ok {
 		if ds := fs.TotalDiskStats(); ds.DegradedReads+ds.ReconstructReads+ds.MediaErrors+ds.Unrecoverable > 0 {
@@ -391,4 +407,21 @@ func sweepShards(name string, tr *trace.Trace, fileSize int64, paced bool, write
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
 	os.Exit(1)
+}
+
+// parseMembers parses the -rebuild flag: a comma-separated list of
+// member indices ("1" or "1,2"); empty means no rebuild.
+func parseMembers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-rebuild: bad member %q (want a non-negative index list like \"1,2\")", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -10,6 +10,7 @@
 //	webbench -mode serve -lanes -writeback 8 -sched scan   # per-connection lanes
 //	webbench -mode servefs -addr :5050    # stdlib http.FileServer over the io/fs facade
 //	webbench -mode load -target 127.0.0.1:5050 -clients 8 -requests 100
+//	webbench -mode degraded -clients 16 -requests 50   # shed under overload while the array rebuilds
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "tables", "tables | serve | servefs | load")
+		mode      = flag.String("mode", "tables", "tables | serve | servefs | load | degraded")
 		addr      = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "listen address for serve mode")
 		target    = flag.String("target", fmt.Sprintf("127.0.0.1:%d", webserver.DefaultPort), "server address for load mode")
 		clients   = flag.Int("clients", 4, "concurrent clients in load mode")
@@ -50,6 +53,8 @@ func main() {
 		faults    = flag.String("faults", "", `serve mode: device fault plan, e.g. "fail:1@0s,slow:0@1ms+200us"`)
 		retry     = flag.String("retry", "", `serve mode: session recovery policy, e.g. "max=3,base=50us" (needs -lanes to matter)`)
 		shed      = flag.String("shed", "", `serve mode: load-shedding policy, e.g. "max=8,deadline=2ms"`)
+		spares    = flag.Int("spares", 0, "degraded mode: hot-spare pool size (0 = scenario default)")
+		rebuild   = flag.String("rebuild", "", `degraded mode: members to rebuild, e.g. "1,2" (empty = scenario default)`)
 	)
 	flag.Parse()
 
@@ -62,6 +67,8 @@ func main() {
 		runServeFS(*addr, *shards)
 	case "load":
 		runLoad(*target, *clients, *requests, *posts)
+	case "degraded":
+		runDegraded(*addr, *clients, *requests, *disks, *raid, *faults, *shed, *rebuild, *spares)
 	default:
 		fmt.Fprintf(os.Stderr, "webbench: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -268,6 +275,165 @@ func runLoad(target string, clients, requests int, posts bool) {
 	cdf := metrics.NewFigure("server I/O latency distribution", "quantile", "ms")
 	cdf.Add(lat.CDF(11))
 	fmt.Println(cdf.RenderLines(44, 8))
+}
+
+// runDegraded is the combined robustness scenario: the web tier sheds
+// load under overload while the store's RAID array rebuilds dead
+// members onto hot spares. One report at the end joins the web-side
+// tallies (served / shed / deadlined) with the rebuild's per-member
+// outcome and the array's degraded-mode counters. Flags left at their
+// zero values take the scenario defaults: a 3-way RAID1 mirror that
+// lost two members at t0, a 2-spare pool rebuilding both, and an
+// 8-in-flight / 2 ms-deadline shed policy.
+func runDegraded(addr string, clients, requests, disks int, raid, faults, shed, rebuild string, spares int) {
+	if disks == 0 {
+		disks = 3
+	}
+	if raid == "" {
+		raid = "raid1"
+	}
+	if faults == "" {
+		faults = "fail:1@0s,fail:2@0s"
+	}
+	if spares == 0 {
+		spares = 2
+	}
+	if rebuild == "" {
+		rebuild = "1,2"
+	}
+	if shed == "" {
+		shed = "max=8,deadline=2ms"
+	}
+	level, err := simdisk.ParseLevel(raid)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := simdisk.ParseFaultPlan(faults)
+	if err != nil {
+		fatal(err)
+	}
+	shedPolicy, err := webserver.ParseShedPolicy(shed)
+	if err != nil {
+		fatal(err)
+	}
+	var members []int
+	for _, part := range strings.Split(rebuild, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("-rebuild: bad member %q", part))
+		}
+		members = append(members, n)
+	}
+
+	cfg := fsim.DefaultConfig()
+	cfg.Disks = disks
+	cfg.RAIDLevel = level
+	cfg.Faults = plan
+	cfg.Spares = spares
+	store, err := fsim.NewFileStore(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	if err := workload.Install(store, workload.WebCorpus()); err != nil {
+		fatal(err)
+	}
+	rt, err := vm.New(vm.DefaultConfig(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	rt.RegisterBCL()
+	srv, err := webserver.New(webserver.Config{Addr: addr, Store: store, Runtime: rt, Lanes: true, Shed: shedPolicy})
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := srv.Start()
+	if err != nil {
+		fatal(err)
+	}
+
+	rb, err := store.BeginRebuilds(members)
+	if err != nil {
+		fatal(err)
+	}
+	rebuildDone := make(chan struct{})
+	go func() {
+		rb.Run()
+		close(rebuildDone)
+	}()
+
+	fmt.Printf("degraded scenario on %s: %d clients x %d requests against a %s array (faults %q), rebuilding members %v from a %d-spare pool, shed policy %s\n",
+		bound, clients, requests, raid, faults, members, spares, shedPolicy)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lat metrics.Sample
+	var ok200, ok503 int
+	errs := make(chan error, clients)
+	corpus := workload.WebCorpus()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := webserver.Dial(bound)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < requests; i++ {
+				spec := corpus[(id+i)%len(corpus)]
+				resp, err := cl.Get(spec.Name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				if resp.Status == 503 {
+					ok503++
+				} else {
+					ok200++
+					lat.AddDuration(resp.ServerIOTime)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+	<-rebuildDone
+	srv.Close()
+
+	rows, elapsed := rb.Rows(), rb.Elapsed()
+	if err := rb.Finish(); err != nil {
+		fatal(err)
+	}
+
+	served, shedN, deadlined := 0, 0, 0
+	for _, r := range srv.Records() {
+		switch {
+		case r.Shed:
+			shedN++
+		case r.Deadlined:
+			deadlined++
+		default:
+			served++
+		}
+	}
+	fmt.Printf("web tier: %d served, %d shed, %d deadlined (%d clients saw 200, %d saw 503)\n",
+		served, shedN, deadlined, ok200, ok503)
+	if lat.N() > 0 {
+		fmt.Printf("server-side I/O time: mean %.4f ms, p99 %.4f ms\n", lat.Mean(), lat.Quantile(0.99))
+	}
+	for _, m := range rb.Members() {
+		fmt.Printf("rebuild: member %d reconstructed, %d blocks (%d spare writes)\n", m.Member, m.Rows, m.Writes)
+	}
+	fmt.Printf("rebuild: %d blocks total in %v (simulated)\n", rows, elapsed)
+	ds := store.TotalDiskStats()
+	fmt.Printf("degraded mode: %d failover reads, %d reconstruct reads, %d rebuild writes\n",
+		ds.DegradedReads, ds.ReconstructReads, ds.RebuildWrites)
 }
 
 func printRecords(recs []webserver.RequestRecord) {

@@ -4,14 +4,21 @@
 // two remedies — replicating the server and moving to a faster fabric —
 // and finally the WAN case where the network dwarfs everything.
 //
+// It closes with the fault-tolerance story: a three-replica cluster
+// loses one server mid-sweep, the clients detect it by RPC deadline and
+// fail over along the consistent-hash ring, and the availability curve
+// shows the throughput dip and the recovery.
+//
 //	go run ./examples/distributed
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/distbench"
+	"repro/internal/fsim"
 	"repro/internal/netsim"
 )
 
@@ -61,4 +68,28 @@ func main() {
 	}
 	fmt.Println("\nWAN, one server:")
 	fmt.Println(distbench.Table(wanResults).Render())
+
+	// Node loss: three replicas, one killed 20 ms into the run. Clients
+	// route by consistent hash, declare the dead server after a 5 ms
+	// deadline, and retry the next replica with exponential backoff; the
+	// suspicion is per-client, so each client pays one timeout and then
+	// routes around the corpse.
+	faulty := cfg
+	faulty.Servers = 3
+	faulty.Deadline = 5 * time.Millisecond
+	faulty.Retry = fsim.RetryPolicy{Max: 3, Base: 200 * time.Microsecond}
+	plan, err := netsim.ParseFaultPlan("kill:server0@20ms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty.NetFaults = plan
+	fmt.Println("LAN, three servers, server0 killed at 20ms (RPC deadline 5ms):")
+	killResults, err := distbench.Sweep(faulty, []int{2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(distbench.Table(killResults).Render())
+	worst := killResults[len(killResults)-1]
+	fmt.Printf("at %d clients:\n", worst.Nodes)
+	fmt.Print(distbench.FormatCurve(worst))
 }

@@ -335,7 +335,17 @@ func ExperimentsWith(opts Options) []Experiment {
 			Title: "Extension (§5 future work): distributed load scaling",
 			Kind:  KindTable,
 			Run: func() (Result, error) {
-				results, err := distbench.Sweep(distbench.DefaultConfig(), distbench.NodeSweep)
+				cfg := distbench.DefaultConfig()
+				// The fault-tolerance options ride into the distributed
+				// sweep: with a deadline the clients route by consistent
+				// hash and fail over; with a net-fault plan the fabric
+				// loses nodes mid-run.
+				cfg.Deadline = current.RPCDeadline
+				if cfg.Deadline > 0 {
+					cfg.Retry = current.Retry
+					cfg.NetFaults = current.NetFaults
+				}
+				results, err := distbench.Sweep(cfg, distbench.NodeSweep)
 				if err != nil {
 					return Result{}, err
 				}
@@ -344,11 +354,15 @@ func ExperimentsWith(opts Options) []Experiment {
 				for _, r := range results {
 					values = append(values, r.Throughput)
 				}
+				notes := []string{"throughput saturates as the server NIC/disk path fills"}
+				if cfg.NetFaults != nil {
+					notes = append(notes, "net faults: "+cfg.NetFaults.String())
+				}
 				return Result{
 					Text:   tb.Render() + "\n" + distbench.Figure(results).RenderLines(44, 10),
 					CSV:    tb.CSV(),
 					Values: values,
-					Notes:  []string{"throughput saturates as the server NIC/disk path fills"},
+					Notes:  notes,
 				}, nil
 			},
 		},

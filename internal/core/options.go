@@ -9,6 +9,7 @@ import (
 	"repro/internal/appmodel"
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
+	"repro/internal/netsim"
 	"repro/internal/simdisk"
 	"repro/internal/tracegen"
 	"repro/internal/webserver"
@@ -56,10 +57,20 @@ type Options struct {
 	Inject fsim.InjectSpec
 	// Retry is the sessions' recovery policy: bounded retries with
 	// simulated-time exponential backoff. The zero policy never retries.
+	// The distributed benchmark reuses it as the failover retry budget.
 	Retry fsim.RetryPolicy
 	// Shed is the web tier's graceful-degradation policy (admission
 	// control + per-request I/O deadline). The zero policy never sheds.
 	Shed webserver.ShedPolicy
+	// Spares provisions a hot-spare pool on every simulated store, for
+	// member rebuilds after device faults. Zero keeps ad-hoc spares.
+	Spares int
+	// RPCDeadline is the distributed benchmark's client RPC deadline;
+	// zero keeps the fault-free fast path.
+	RPCDeadline time.Duration
+	// NetFaults schedules node kills and link-drop windows on the
+	// distributed benchmark's fabric. Requires RPCDeadline > 0.
+	NetFaults *netsim.FaultPlan
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -116,7 +127,23 @@ func SetOptions(opts Options) {
 		current.Shed = webserver.ShedPolicy{}
 	}
 	webserver.SetDefaultShed(current.Shed)
+	if current.Spares < 0 {
+		current.Spares = 0
+	}
+	fsim.SetDefaultSpares(current.Spares)
+	if current.RPCDeadline < 0 {
+		current.RPCDeadline = 0
+	}
+	// A fault plan nobody can detect is dropped, matching the invalid
+	// values above: the distributed benchmark rejects the combination.
+	if current.NetFaults != nil && current.RPCDeadline <= 0 {
+		current.NetFaults = nil
+	}
 }
+
+// Current returns the registry's active configuration (after
+// SetOptions' invalid-value corrections).
+func Current() Options { return current }
 
 // fillDefaults replaces zero fields with defaults.
 func (o Options) fillDefaults() Options {
@@ -153,6 +180,9 @@ type configJSON struct {
 	Inject             *string  `json:"inject"`
 	Retry              *string  `json:"retry"`
 	Shed               *string  `json:"shed"`
+	Spares             *int     `json:"spares"`
+	RPCDeadline        *string  `json:"rpc_deadline"`
+	NetFaults          *string  `json:"net_faults"`
 }
 
 // LoadOptions reads a JSON configuration, overlaying it on the defaults.
@@ -260,6 +290,32 @@ func LoadOptions(r io.Reader) (Options, error) {
 			return Options{}, fmt.Errorf("core: %w", err)
 		}
 		opts.Shed = shed
+	}
+	if cfg.Spares != nil {
+		if *cfg.Spares < 0 {
+			return Options{}, fmt.Errorf("core: spares %d must be non-negative", *cfg.Spares)
+		}
+		opts.Spares = *cfg.Spares
+	}
+	if cfg.RPCDeadline != nil {
+		d, err := time.ParseDuration(*cfg.RPCDeadline)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: rpc_deadline: %w", err)
+		}
+		if d < 0 {
+			return Options{}, fmt.Errorf("core: rpc_deadline %v must be non-negative", d)
+		}
+		opts.RPCDeadline = d
+	}
+	if cfg.NetFaults != nil {
+		plan, err := netsim.ParseFaultPlan(*cfg.NetFaults)
+		if err != nil {
+			return Options{}, fmt.Errorf("core: %w", err)
+		}
+		if plan != nil && opts.RPCDeadline <= 0 {
+			return Options{}, fmt.Errorf("core: net_faults requires a positive rpc_deadline to detect losses")
+		}
+		opts.NetFaults = plan
 	}
 	if err := opts.Machine.Validate(); err != nil {
 		return Options{}, err

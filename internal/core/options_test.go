@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/buffercache"
 	"repro/internal/fsim"
+	"repro/internal/netsim"
 	"repro/internal/simdisk"
 )
 
@@ -198,5 +199,57 @@ func TestSetOptionsAffectsRegistry(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "PASS") {
 		t.Fatalf("errorcheck under override:\n%s", res.Text)
+	}
+}
+
+func TestLoadOptionsFaultTolerance(t *testing.T) {
+	cfg := `{"spares": 2, "rpc_deadline": "5ms", "net_faults": "kill:server0@20ms,drop:link1@10ms+5ms"}`
+	opts, err := LoadOptions(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Spares != 2 {
+		t.Fatalf("spares = %d", opts.Spares)
+	}
+	if opts.RPCDeadline != 5*time.Millisecond {
+		t.Fatalf("rpc_deadline = %v", opts.RPCDeadline)
+	}
+	if opts.NetFaults == nil || len(opts.NetFaults.Faults) != 2 {
+		t.Fatalf("net_faults = %+v", opts.NetFaults)
+	}
+
+	for _, tc := range []struct {
+		name string
+		cfg  string
+	}{
+		{"negative spares", `{"spares": -1}`},
+		{"bad deadline", `{"rpc_deadline": "soon"}`},
+		{"negative deadline", `{"rpc_deadline": "-1ms"}`},
+		{"bad plan", `{"rpc_deadline": "5ms", "net_faults": "explode:server0@1ms"}`},
+		{"plan without deadline", `{"net_faults": "kill:server0@20ms"}`},
+	} {
+		if _, err := LoadOptions(strings.NewReader(tc.cfg)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSetOptionsSparesReachStores(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Spares = 3
+	SetOptions(opts)
+	defer SetOptions(DefaultOptions())
+	store := fsim.MustNewFileStore(fsim.DefaultConfig())
+	defer store.Close()
+	if store.SparePool() == nil || store.SparePool().Available() != 3 {
+		t.Fatalf("store did not pick up the configured spare pool: %+v", store.SparePool())
+	}
+	// Dropped combination: a net-fault plan without a detectable deadline.
+	opts = DefaultOptions()
+	opts.NetFaults = &netsim.FaultPlan{Faults: []netsim.Fault{{Target: "server0", Kind: netsim.FaultKill}}}
+	SetOptions(opts)
+	defer SetOptions(DefaultOptions())
+	if Current().NetFaults != nil {
+		t.Fatal("undetectable net-fault plan kept")
 	}
 }

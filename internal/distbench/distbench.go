@@ -44,6 +44,31 @@ type Config struct {
 	Store fsim.Config
 	// Corpus is the served file set.
 	Corpus []workload.FileSpec
+
+	// Deadline is each client's RPC deadline: a request whose response
+	// was lost is declared failed Deadline after the attempt was issued,
+	// and the client fails over to the next replica on the consistent-
+	// hash ring. Zero keeps the fault-free fast path (static round-robin
+	// assignment), byte-identical to the pre-fault benchmark.
+	Deadline time.Duration
+	// Retry bounds failover: up to Max retries per request, with
+	// simulated-time exponential backoff Base<<attempt between the
+	// deadline expiry and the next attempt — the same semantics as
+	// fsim's session recovery. Used only when Deadline > 0.
+	Retry fsim.RetryPolicy
+	// NetFaults schedules node kills and link-drop windows on the
+	// fabric. Symbolic targets resolve against the run's node layout:
+	// "client<i>" is node i, "server<i>" is node Nodes+i, and
+	// "node<i>"/"link<i>" are raw node indices. Requires Deadline > 0 —
+	// without a deadline nobody would notice the loss.
+	NetFaults *netsim.FaultPlan
+	// RebuildMembers lists store members every server rebuilds
+	// concurrently with serving (hot-spare pools: pair with
+	// Store.Spares and a Store.Faults plan that kills the members).
+	RebuildMembers []int
+	// CurveBuckets is the availability curve's resolution (default 20
+	// buckets over the makespan) on the fault-aware path.
+	CurveBuckets int
 }
 
 // DefaultConfig returns a LAN cluster serving the web corpus: 4 workers,
@@ -77,6 +102,18 @@ func (c Config) Validate() error {
 	case len(c.Corpus) == 0:
 		return fmt.Errorf("distbench: empty corpus")
 	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("distbench: negative deadline %v", c.Deadline)
+	}
+	if c.NetFaults != nil && c.Deadline <= 0 {
+		return fmt.Errorf("distbench: a network fault plan needs a positive Deadline to detect losses")
+	}
+	if c.CurveBuckets < 0 {
+		return fmt.Errorf("distbench: negative curve bucket count %d", c.CurveBuckets)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
 	if err := c.Net.Validate(); err != nil {
 		return err
 	}
@@ -100,37 +137,74 @@ type Result struct {
 	ServerIOMS float64
 	// NetBusy is the fabric's total NIC busy time.
 	NetBusy time.Duration
+
+	// The fault-aware path (Deadline > 0) fills the availability story;
+	// all zero on the fault-free fast path.
+	//
+	// TimedOut counts deadline expiries (one per lost attempt), Retried
+	// counts the failover attempts issued after them, Recovered counts
+	// requests that completed after at least one timeout, and Lost
+	// counts requests abandoned after exhausting the retry budget.
+	// Dropped is the fabric's lost-message count.
+	TimedOut  int64
+	Retried   int64
+	Recovered int64
+	Lost      int64
+	Dropped   int64
+	// Curve is the availability curve: completed-request throughput per
+	// fixed-width time bucket over the makespan.
+	Curve []CurvePoint
+	// TimeToSteadyMS is how long after the first node kill the system
+	// took to drain the disruption: the last recovered request's
+	// completion, measured from the kill (zero without kills).
+	TimeToSteadyMS float64
+	// RebuildRows/RebuildMS/RebuildMembers record the servers' member
+	// rebuilds when Config.RebuildMembers is set: total blocks copied
+	// across servers, the slowest copy's duration, and one server's
+	// per-member outcome (servers are identical replicas).
+	RebuildRows    int64
+	RebuildMS      float64
+	RebuildMembers []fsim.RebuildMemberResult
 }
 
-// Run executes one distributed load and returns its result.
-func Run(cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
+// CurvePoint is one availability-curve bucket.
+type CurvePoint struct {
+	// EndMS is the bucket's end, in simulated milliseconds from the run
+	// start.
+	EndMS float64
+	// Throughput is the bucket's completed requests per simulated
+	// second.
+	Throughput float64
+}
+
+// serverState is one replicated server: its store, managed runtime,
+// worker pool, and fabric node index. Node layout: clients 0..Nodes-1,
+// servers Nodes..Nodes+nServers-1.
+type serverState struct {
+	store      *fsim.FileStore
+	rt         *vm.Runtime
+	workerFree []time.Time
+	node       int
+}
+
+// buildCluster provisions the replicated servers and the fabric.
+func buildCluster(cfg Config) ([]*serverState, *netsim.Network, error) {
 	nServers := cfg.Servers
 	if nServers == 0 {
 		nServers = 1
-	}
-	// One store/runtime/worker-pool per replicated server. Node layout:
-	// clients 0..Nodes-1, servers Nodes..Nodes+nServers-1.
-	type serverState struct {
-		store      *fsim.FileStore
-		rt         *vm.Runtime
-		workerFree []time.Time
-		node       int
 	}
 	servers := make([]*serverState, nServers)
 	for i := range servers {
 		store, err := fsim.NewFileStore(cfg.Store)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		if err := workload.Install(store, cfg.Corpus); err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		rt, err := vm.New(cfg.VM, nil)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		rt.RegisterBCL()
 		servers[i] = &serverState{
@@ -142,8 +216,27 @@ func Run(cfg Config) (Result, error) {
 	}
 	net, err := netsim.New(cfg.Nodes+nServers, cfg.Net)
 	if err != nil {
+		return nil, nil, err
+	}
+	return servers, net, nil
+}
+
+// Run executes one distributed load and returns its result. With a
+// Deadline configured it runs the fault-aware path (consistent-hash
+// routing, failover, availability curve); otherwise the fault-free fast
+// path below, byte-identical to the pre-fault benchmark.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Deadline > 0 {
+		return runFaultAware(cfg)
+	}
+	servers, net, err := buildCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nServers := len(servers)
 
 	t0 := time.Unix(0, 0)
 	// Per-client next-issue times and remaining request counts.

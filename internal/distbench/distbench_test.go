@@ -1,6 +1,7 @@
 package distbench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}
 }

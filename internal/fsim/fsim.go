@@ -138,6 +138,11 @@ type Config struct {
 	// Retry bounds session recovery from transient injected faults with
 	// simulated-time exponential backoff; see RetryPolicy.
 	Retry RetryPolicy
+	// Spares provisions a hot-spare pool that rebuilds draw from, so
+	// multiple members can rebuild concurrently and a plan that kills
+	// more members than it provisioned spares for fails loudly. Zero
+	// keeps the ad-hoc per-rebuild spare.
+	Spares int
 }
 
 // ShardedConfig is DefaultConfig with the page cache lock-striped for the
@@ -176,6 +181,7 @@ func DefaultConfig() Config {
 		Faults:           DefaultFaults(),
 		Inject:           DefaultInject(),
 		Retry:            DefaultRetry(),
+		Spares:           DefaultSpares(),
 	}
 }
 
@@ -192,6 +198,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fsim: stripe unit %d must be positive", c.StripeUnit)
 	case !c.DiskQueue.Valid():
 		return fmt.Errorf("fsim: invalid disk-queue mode %d", int(c.DiskQueue))
+	case c.Spares < 0:
+		return fmt.Errorf("fsim: negative spare count %d", c.Spares)
 	}
 	if err := c.Cache.Validate(); err != nil {
 		return err
@@ -261,6 +269,9 @@ type FileStore struct {
 	// submits into instead of owning a private timing view.
 	queue  *sharedq.Queue
 	qArray *simdisk.Array
+	// spares is the hot-spare pool rebuilds draw from; nil when
+	// Config.Spares is zero (each rebuild then provisions ad hoc).
+	spares *simdisk.SparePool
 
 	files     sync.Map // name -> *fileMeta
 	nextBase  atomic.Int64
@@ -306,6 +317,13 @@ func NewFileStore(cfg Config) (*FileStore, error) {
 	// so every disk view the store builds degrades identically.
 	if err := array.ApplyFaultPlan(tl.Start(), cfg.Faults); err != nil {
 		return nil, err
+	}
+	if cfg.Spares > 0 {
+		pool, err := simdisk.NewSparePool(cfg.Spares, cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		s.spares = pool
 	}
 	// The default session runs on the default lane, the shared array, and
 	// the cache's default I/O context: plain store calls behave exactly

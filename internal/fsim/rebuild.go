@@ -2,6 +2,7 @@ package fsim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -24,43 +25,63 @@ import (
 // member in place, and doing it mid-run would make subsequent timings
 // depend on wall-clock interleaving.
 type ArrayRebuild struct {
-	store *FileStore
-	rb    *simdisk.Rebuild
-	port  simdisk.AccessPort
-	lane  *sharedq.Lane
-	clk   *clock.VirtualClock
-	start time.Time
-	end   time.Time
+	store  *FileStore
+	rb     *simdisk.Rebuild
+	port   simdisk.AccessPort
+	lane   *sharedq.Lane
+	clk    *clock.VirtualClock
+	member int
+	start  time.Time
+	end    time.Time
 }
 
 // BeginRebuild prepares the reconstruction of member failed, covering
 // every extent allocated so far. The member is typically dead under the
 // configured fault plan, but rebuilding a live (e.g. merely slowed)
-// member is allowed — the copy then reads it directly.
+// member is allowed — the copy then reads it directly. When the store
+// provisions a hot-spare pool (Config.Spares), the spare is claimed from
+// it and exhaustion is an error; otherwise the rebuild provisions an
+// ad-hoc spare.
 func (s *FileStore) BeginRebuild(failed int) (*ArrayRebuild, error) {
 	used := s.nextBase.Load()
-	r := &ArrayRebuild{store: s, clk: s.tl.NewLane()}
-	r.start = r.clk.Now()
-	if s.queue != nil {
-		rb, err := s.qArray.NewRebuild(failed, used)
+	var spare *simdisk.Disk
+	if s.spares != nil {
+		d, err := s.spares.Take()
 		if err != nil {
-			s.tl.ReleaseLane(r.clk)
-			return nil, err
+			return nil, fmt.Errorf("fsim: rebuilding member %d: %w", failed, err)
 		}
-		r.rb = rb
-		r.lane = s.queue.NewLane(r.clk.Now())
-		r.port = r.lane
-		return r, nil
+		spare = d
 	}
-	rb, err := s.array.NewRebuild(failed, used)
+	array := s.array
+	if s.queue != nil {
+		array = s.qArray
+	}
+	var rb *simdisk.Rebuild
+	var err error
+	if spare != nil {
+		rb, err = array.NewRebuildOnto(failed, used, spare)
+	} else {
+		rb, err = array.NewRebuild(failed, used)
+	}
 	if err != nil {
-		s.tl.ReleaseLane(r.clk)
+		if spare != nil {
+			s.spares.Put(spare)
+		}
 		return nil, err
 	}
-	r.rb = rb
-	r.port = s.array
+	r := &ArrayRebuild{store: s, rb: rb, member: failed, clk: s.tl.NewLane()}
+	r.start = r.clk.Now()
+	if s.queue != nil {
+		r.lane = s.queue.NewLane(r.clk.Now())
+		r.port = r.lane
+	} else {
+		r.port = s.array
+	}
 	return r, nil
 }
+
+// SparePool exposes the hot-spare pool (nil when Config.Spares is zero).
+func (s *FileStore) SparePool() *simdisk.SparePool { return s.spares }
 
 // Run drives the whole copy on the rebuild's own lane: each block's
 // reconstruction read flows through the store's disk path (contending
@@ -116,3 +137,154 @@ func (r *ArrayRebuild) Finish() error {
 	}
 	return nil
 }
+
+// abort releases a begun-but-never-run rebuild's resources: its lane
+// retires from the merge and a pooled spare (still untouched) returns to
+// the pool. Only the RebuildSet construction error path uses it.
+func (r *ArrayRebuild) abort() {
+	if r.lane != nil {
+		r.lane.Release()
+		r.lane = nil
+	}
+	if r.clk != nil {
+		r.store.tl.ReleaseLane(r.clk)
+		r.clk = nil
+	}
+	if r.store.spares != nil {
+		r.store.spares.Put(r.rb.Spare())
+	}
+}
+
+// RebuildMemberResult is one member's rebuild outcome.
+type RebuildMemberResult struct {
+	// Member is the rebuilt member index.
+	Member int
+	// Rows is how many stripe-unit blocks the rebuild covered.
+	Rows int64
+	// Writes is the spare's RebuildWrites when the copy completed; a
+	// finished rebuild has Writes == Rows.
+	Writes int64
+}
+
+// RebuildSet drives several members' rebuilds as one unit — the
+// hot-spare-pool story, where a double failure rebuilds both members
+// concurrently. Lifecycle mirrors ArrayRebuild's: BeginRebuilds before
+// foreground workers start, Run concurrently with them, Finish after
+// they quiesce.
+type RebuildSet struct {
+	store    *FileStore
+	rebuilds []*ArrayRebuild
+	results  []RebuildMemberResult
+}
+
+// BeginRebuilds prepares one rebuild per listed member. Duplicate
+// members are rejected, and with a hot-spare pool configured the whole
+// set is refused up front when it would overcommit the pool — no
+// half-begun state to unwind at the call site.
+func (s *FileStore) BeginRebuilds(members []int) (*RebuildSet, error) {
+	seen := make(map[int]bool, len(members))
+	for _, m := range members {
+		if seen[m] {
+			return nil, fmt.Errorf("fsim: duplicate rebuild member %d", m)
+		}
+		seen[m] = true
+	}
+	if s.spares != nil && len(members) > s.spares.Available() {
+		return nil, fmt.Errorf("fsim: %d rebuilds requested but only %d spares available",
+			len(members), s.spares.Available())
+	}
+	rs := &RebuildSet{store: s}
+	for _, m := range members {
+		r, err := s.BeginRebuild(m)
+		if err != nil {
+			for _, begun := range rs.rebuilds {
+				begun.abort()
+			}
+			return nil, err
+		}
+		rs.rebuilds = append(rs.rebuilds, r)
+	}
+	return rs, nil
+}
+
+// Run drives every member's copy and returns the latest completion
+// time. In shared disk-queue mode the rebuilds run on concurrent
+// goroutines — each lane must keep advancing or the conservative event
+// merge would wait on the idle ones — and the event-merged dispatch
+// keeps the result deterministic. In private-view mode they run
+// back to back on the wall clock instead: all start at the same virtual
+// instant on their own lanes and contend for the survivors' busy
+// horizons in a fixed order, so the merged timings stay a pure function
+// of the configuration.
+func (rs *RebuildSet) Run() time.Time {
+	var end time.Time
+	if rs.store.queue != nil {
+		var wg sync.WaitGroup
+		for _, r := range rs.rebuilds {
+			wg.Add(1)
+			go func(r *ArrayRebuild) {
+				defer wg.Done()
+				r.Run()
+			}(r)
+		}
+		wg.Wait()
+		for _, r := range rs.rebuilds {
+			if r.end.After(end) {
+				end = r.end
+			}
+		}
+		return end
+	}
+	for _, r := range rs.rebuilds {
+		if done := r.Run(); done.After(end) {
+			end = done
+		}
+	}
+	return end
+}
+
+// Rows returns the total block count across the set.
+func (rs *RebuildSet) Rows() int64 {
+	var rows int64
+	for _, r := range rs.rebuilds {
+		rows += r.Rows()
+	}
+	return rows
+}
+
+// Elapsed returns the slowest member's copy duration (zero before Run).
+func (rs *RebuildSet) Elapsed() time.Duration {
+	var d time.Duration
+	for _, r := range rs.rebuilds {
+		if e := r.Elapsed(); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// Finish promotes every spare into its member and records the
+// per-member results. Call only after Run returned and foreground lanes
+// quiesced.
+func (rs *RebuildSet) Finish() error {
+	if rs.results != nil {
+		return nil
+	}
+	results := make([]RebuildMemberResult, 0, len(rs.rebuilds))
+	for _, r := range rs.rebuilds {
+		res := RebuildMemberResult{
+			Member: r.member,
+			Rows:   r.Rows(),
+			Writes: r.Spare().Stats().RebuildWrites,
+		}
+		if err := r.Finish(); err != nil {
+			return fmt.Errorf("fsim: finishing member %d rebuild: %w", r.member, err)
+		}
+		results = append(results, res)
+	}
+	rs.results = results
+	return nil
+}
+
+// Members returns the per-member results (nil before Finish).
+func (rs *RebuildSet) Members() []RebuildMemberResult { return rs.results }

@@ -400,6 +400,7 @@ var (
 	defFaultPlan   *simdisk.FaultPlan
 	defInjectSpec  InjectSpec
 	defRetryPolicy RetryPolicy
+	defSpares      int
 )
 
 // SetDefaultFaults installs the process-default device fault plan.
@@ -442,4 +443,18 @@ func DefaultRetry() RetryPolicy {
 	faultDefMu.Lock()
 	defer faultDefMu.Unlock()
 	return defRetryPolicy
+}
+
+// SetDefaultSpares installs the process-default hot-spare pool size.
+func SetDefaultSpares(n int) {
+	faultDefMu.Lock()
+	defSpares = n
+	faultDefMu.Unlock()
+}
+
+// DefaultSpares returns the process-default hot-spare pool size.
+func DefaultSpares() int {
+	faultDefMu.Lock()
+	defer faultDefMu.Unlock()
+	return defSpares
 }

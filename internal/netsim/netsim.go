@@ -71,6 +71,9 @@ type Stats struct {
 	Bytes      int64
 	BusyTime   time.Duration
 	Collective int64
+	// Dropped counts messages lost to node kills or link-drop windows
+	// (SendLossy under a FaultPlan).
+	Dropped int64
 }
 
 // Network is a set of nodes joined by a homogeneous fabric. Each node's
@@ -81,6 +84,11 @@ type Network struct {
 	mu      sync.Mutex
 	nicBusy []time.Time
 	stats   Stats
+	// epoch anchors the fault plan's virtual offsets; flt is per-node
+	// fault state, nil while no plan is applied so the fault-free paths
+	// pay one nil check.
+	epoch time.Time
+	flt   []*nodeFaults
 }
 
 // New builds a network of n nodes.
@@ -248,7 +256,7 @@ func (n *Network) Exchange(now time.Time, size int64, neighbours int) time.Time 
 	return done
 }
 
-// Reset clears busy horizons and statistics.
+// Reset clears busy horizons, statistics, and any applied fault plan.
 func (n *Network) Reset() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -256,4 +264,6 @@ func (n *Network) Reset() {
 		n.nicBusy[i] = time.Time{}
 	}
 	n.stats = Stats{}
+	n.epoch = time.Time{}
+	n.flt = nil
 }

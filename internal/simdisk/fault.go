@@ -82,8 +82,35 @@ func (f Fault) Validate() error {
 	default:
 		return fmt.Errorf("simdisk: unknown fault kind %d", int(f.Kind))
 	}
+	if f.Disk < 0 {
+		return fmt.Errorf("simdisk: disk index %d must be non-negative", f.Disk)
+	}
 	if f.At < 0 {
 		return fmt.Errorf("simdisk: fault activation %v must be non-negative", f.At)
+	}
+	return nil
+}
+
+// checkMediaOverlaps rejects plans whose media-error ranges on the same
+// disk overlap: two poisoned ranges covering one sector would make the
+// billed failure order depend on which fault the access check saw
+// first. Errors are positioned — they name both fault indices and
+// render both faults in the plan grammar.
+func (p *FaultPlan) checkMediaOverlaps() error {
+	for i, f := range p.Faults {
+		if f.Kind != FaultMedia {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			g := p.Faults[j]
+			if g.Kind != FaultMedia || g.Disk != f.Disk {
+				continue
+			}
+			if f.Offset < g.Offset+g.Length && g.Offset < f.Offset+f.Length {
+				return fmt.Errorf("fault %d %q: media range [%d,%d) on disk %d overlaps fault %d %q",
+					i, formatFault(f), f.Offset, f.Offset+f.Length, f.Disk, j, formatFault(g))
+			}
+		}
 	}
 	return nil
 }
@@ -115,7 +142,7 @@ func (p *FaultPlan) Validate(n int, level Level) error {
 			return fmt.Errorf("fault %d: %s fault needs redundancy; %s has none (only slowdowns)", i, f.Kind, level)
 		}
 	}
-	return nil
+	return p.checkMediaOverlaps()
 }
 
 // MediaError reports a read that landed on a poisoned sector range. The

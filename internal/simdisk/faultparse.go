@@ -17,18 +17,28 @@ import (
 // where <at>, <penalty>, <until> are Go durations on the virtual clock
 // ("0s", "1ms", "2.5s") and <offset>/<length> are byte counts. An empty
 // string parses to a nil plan (no faults).
+//
+// Structural problems are rejected here, at parse time, with positioned
+// errors: negative disk indices (out of range on any geometry) and
+// media-error ranges that overlap an earlier fault's range on the same
+// disk. Geometry-dependent range checks (disk index vs member count,
+// fault kind vs RAID level) happen in FaultPlan.Validate once the array
+// shape is known.
 func ParseFaultPlan(s string) (*FaultPlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
 	var plan FaultPlan
-	for _, part := range strings.Split(s, ",") {
+	for i, part := range strings.Split(s, ",") {
 		f, err := parseFault(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("fault %q: %w", part, err)
+			return nil, fmt.Errorf("fault %d %q: %w", i, part, err)
 		}
 		plan.Faults = append(plan.Faults, f)
+	}
+	if err := plan.checkMediaOverlaps(); err != nil {
+		return nil, err
 	}
 	return &plan, nil
 }
@@ -96,6 +106,24 @@ func parseFault(s string) (Fault, error) {
 	return f, f.Validate()
 }
 
+// formatFault renders one fault in the ParseFaultPlan grammar.
+func formatFault(f Fault) string {
+	switch f.Kind {
+	case FaultDevice:
+		return fmt.Sprintf("fail:%d@%v", f.Disk, f.At)
+	case FaultSlowdown:
+		s := fmt.Sprintf("slow:%d@%v+%v", f.Disk, f.At, f.Penalty)
+		if f.Until != 0 {
+			s += ".." + f.Until.String()
+		}
+		return s
+	case FaultMedia:
+		return fmt.Sprintf("media:%d@%v:%d+%d", f.Disk, f.At, f.Offset, f.Length)
+	default:
+		return fmt.Sprintf("%v:%d@%v", f.Kind, f.Disk, f.At)
+	}
+}
+
 // String renders the plan back into the ParseFaultPlan grammar.
 func (p *FaultPlan) String() string {
 	if p == nil || len(p.Faults) == 0 {
@@ -103,18 +131,7 @@ func (p *FaultPlan) String() string {
 	}
 	parts := make([]string, 0, len(p.Faults))
 	for _, f := range p.Faults {
-		switch f.Kind {
-		case FaultDevice:
-			parts = append(parts, fmt.Sprintf("fail:%d@%v", f.Disk, f.At))
-		case FaultSlowdown:
-			s := fmt.Sprintf("slow:%d@%v+%v", f.Disk, f.At, f.Penalty)
-			if f.Until != 0 {
-				s += ".." + f.Until.String()
-			}
-			parts = append(parts, s)
-		case FaultMedia:
-			parts = append(parts, fmt.Sprintf("media:%d@%v:%d+%d", f.Disk, f.At, f.Offset, f.Length))
-		}
+		parts = append(parts, formatFault(f))
 	}
 	return strings.Join(parts, ",")
 }

@@ -1,0 +1,52 @@
+package simdisk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlanParse pins the parse -> format -> re-parse equivalence of
+// the fault-plan grammar: any string ParseFaultPlan accepts must render
+// (String) back into a string that re-parses to a deeply-equal plan, and
+// the rendering must be a fixed point. The seed corpus under
+// testdata/fuzz/FuzzFaultPlanParse is replayed under the race detector
+// in CI alongside FuzzTraceV2 (see the Makefile race target).
+func FuzzFaultPlanParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"fail:1@0s",
+		"slow:0@1ms+200us..5ms",
+		"slow:3@0s+1us",
+		"media:2@0s:4096+8192",
+		"fail:1@0s,slow:0@1ms+200us..5ms,media:2@0s:4096+8192",
+		"media:2@0s:4096+8192,media:2@1ms:0+4096",
+		"media:2@0s:4096+8192,media:2@0s:0+8192", // overlapping: must stay rejected
+		"fail:-1@0s",                             // negative disk: must stay rejected
+		"slow:0@2h45m+1.5s..3h",
+		"kill:server2@50ms", // netsim grammar: not a disk fault kind
+		"fail:0@0s,",
+		"media:0@0s:9223372036854775807+1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaultPlan(s)
+		if err != nil {
+			return
+		}
+		if plan == nil {
+			return // blank input: nil plan, renders ""
+		}
+		out := plan.String()
+		plan2, err := ParseFaultPlan(out)
+		if err != nil {
+			t.Fatalf("parsed %q but re-parse of rendering %q failed: %v", s, out, err)
+		}
+		if !reflect.DeepEqual(plan, plan2) {
+			t.Fatalf("round trip changed the plan:\n in: %q -> %+v\nout: %q -> %+v", s, plan, out, plan2)
+		}
+		if out2 := plan2.String(); out2 != out {
+			t.Fatalf("rendering is not a fixed point: %q -> %q", out, out2)
+		}
+	})
+}

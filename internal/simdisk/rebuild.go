@@ -69,6 +69,21 @@ type Rebuild struct {
 // already correct there). The array must be redundant — RAID0 has
 // nothing to reconstruct from.
 func (a *Array) NewRebuild(failed int, usedLogical int64) (*Rebuild, error) {
+	return a.newRebuild(failed, usedLogical, nil)
+}
+
+// NewRebuildOnto is NewRebuild targeting a caller-provided spare disk —
+// typically one claimed from a SparePool — instead of an ad-hoc fresh
+// spare. The spare must be unused; its statistics and mechanical state
+// fold into the rebuilt member at Finish exactly as NewRebuild's do.
+func (a *Array) NewRebuildOnto(failed int, usedLogical int64, spare *Disk) (*Rebuild, error) {
+	if spare == nil {
+		return nil, fmt.Errorf("simdisk: rebuild needs a spare disk")
+	}
+	return a.newRebuild(failed, usedLogical, spare)
+}
+
+func (a *Array) newRebuild(failed int, usedLogical int64, spare *Disk) (*Rebuild, error) {
 	if a.level == RAID0 {
 		return nil, fmt.Errorf("simdisk: RAID0 has no redundancy to rebuild from")
 	}
@@ -87,7 +102,10 @@ func (a *Array) NewRebuild(failed int, usedLogical int64) (*Rebuild, error) {
 		dataDisks := int64(len(a.disks) - 1)
 		rows = (usedStripes + dataDisks - 1) / dataDisks
 	}
-	return &Rebuild{a: a, failed: failed, spare: MustNew(a.disks[failed].params), rows: rows}, nil
+	if spare == nil {
+		spare = MustNew(a.disks[failed].params)
+	}
+	return &Rebuild{a: a, failed: failed, spare: spare, rows: rows}, nil
 }
 
 // Rows returns the total number of stripe-unit blocks the rebuild

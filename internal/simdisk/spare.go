@@ -1,0 +1,67 @@
+package simdisk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SparePool holds pre-provisioned hot-spare disks rebuilds draw from —
+// the pool a production array keeps spun up so a second failure does not
+// wait on procurement. Taking a spare is explicit and bounded: when the
+// pool is exhausted, NewRebuildOnto callers get an error instead of an
+// invisible extra disk, so a plan that kills more members than it
+// provisioned spares for fails loudly.
+type SparePool struct {
+	mu   sync.Mutex
+	free []*Disk
+	size int
+}
+
+// NewSparePool provisions n fresh spares with the given disk geometry.
+func NewSparePool(n int, p Params) (*SparePool, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("simdisk: negative spare count %d", n)
+	}
+	sp := &SparePool{size: n}
+	for i := 0; i < n; i++ {
+		d, err := New(p)
+		if err != nil {
+			return nil, err
+		}
+		sp.free = append(sp.free, d)
+	}
+	return sp, nil
+}
+
+// Size returns the provisioned spare count.
+func (sp *SparePool) Size() int { return sp.size }
+
+// Available returns how many spares remain unclaimed.
+func (sp *SparePool) Available() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.free)
+}
+
+// Take claims a spare, or errors when the pool is exhausted.
+func (sp *SparePool) Take() (*Disk, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.free) == 0 {
+		return nil, fmt.Errorf("simdisk: spare pool exhausted (%d provisioned)", sp.size)
+	}
+	d := sp.free[len(sp.free)-1]
+	sp.free = sp.free[:len(sp.free)-1]
+	return d, nil
+}
+
+// Put returns an unused spare to the pool (e.g. a rebuild that never
+// started).
+func (sp *SparePool) Put(d *Disk) {
+	if d == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.free = append(sp.free, d)
+	sp.mu.Unlock()
+}

@@ -1,0 +1,164 @@
+package tracesim
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// pidRange is one process's touched byte extent on the sample file.
+type pidRange struct {
+	pid      uint32
+	lo, hi   int64
+	touched  int64
+	overlaps []uint32
+}
+
+// footprints computes each PID's touched byte range over the data
+// operations of a trace, and which other PIDs' ranges intersect it.
+func footprints(tr *trace.Trace) []pidRange {
+	byPID := make(map[uint32]*pidRange)
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		if rec.Op != trace.OpRead && rec.Op != trace.OpWrite {
+			continue
+		}
+		lo, hi := rec.Offset, rec.Offset+int64(rec.Length)*int64(rec.Count)
+		r, ok := byPID[rec.PID]
+		if !ok {
+			byPID[rec.PID] = &pidRange{pid: rec.PID, lo: lo, hi: hi, touched: hi - lo}
+			continue
+		}
+		if lo < r.lo {
+			r.lo = lo
+		}
+		if hi > r.hi {
+			r.hi = hi
+		}
+		r.touched += hi - lo
+	}
+	out := make([]pidRange, 0, len(byPID))
+	for _, r := range byPID {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	for i := range out {
+		for j := range out {
+			if i != j && out[i].lo < out[j].hi && out[j].lo < out[i].hi {
+				out[i].overlaps = append(out[i].overlaps, out[j].pid)
+			}
+		}
+	}
+	return out
+}
+
+// TestMixedFootprintsOverlapParallelDoNot pins the root cause of the
+// known Mixed per-request-row run-to-run variation: Mixed's processes
+// read overlapping regions of the one sample file through the one
+// shared page cache, so which worker pays a shared page's cold miss —
+// and which gets the warm hit — depends on goroutine scheduling, a
+// wall-clock order the simulator does not control. Parallel's workers
+// read disjoint regions, which is why its concurrent replay IS
+// bit-identical (TestReplayDeterministicSerialVsConcurrent) while
+// Mixed's per-request rows are interleaving-dependent. This test makes
+// the structural difference explicit so the asymmetry in the
+// determinism contract is pinned, not folklore.
+func TestMixedFootprintsOverlapParallelDoNot(t *testing.T) {
+	p := tracegen.DefaultParams()
+	p.FileSize = 32 << 20
+	p.Requests = 256
+	p.Workers = 8
+
+	par, err := tracegen.Parallel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range footprints(par) {
+		if len(r.overlaps) != 0 {
+			t.Fatalf("Parallel pid %d overlaps pids %v — the disjoint-region premise of the determinism contract broke", r.pid, r.overlaps)
+		}
+	}
+
+	mixed, err := tracegen.Mixed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapping := 0
+	for _, r := range footprints(mixed) {
+		if len(r.overlaps) > 0 {
+			overlapping++
+		}
+	}
+	if overlapping < 2 {
+		t.Fatalf("Mixed PIDs no longer share file regions (%d overlapping); if the workload changed, revisit the Mixed determinism caveat", overlapping)
+	}
+}
+
+// TestMixedReplayReproducer is the skipped-by-default reproducer for
+// the Mixed caveat: run it with TRACESIM_MIXED_REPRO=1 (ideally with
+// -count > 1) to observe concurrent Mixed replays whose per-request
+// rows differ run to run. Even when rows diverge, the data path must
+// agree: every run executes the same operation population and byte
+// volume — only the attribution of shared-page cold misses moves
+// between workers. That containment is asserted; row divergence itself
+// is reported, not failed, because it is scheduler-dependent and a
+// quiet host may legitimately not reproduce it.
+func TestMixedReplayReproducer(t *testing.T) {
+	if os.Getenv("TRACESIM_MIXED_REPRO") == "" {
+		t.Skip("set TRACESIM_MIXED_REPRO=1 to run the Mixed nondeterminism reproducer")
+	}
+	p := tracegen.DefaultParams()
+	p.FileSize = 32 << 20
+	p.Requests = 256
+	p.Workers = 8
+	tr, err := tracegen.Mixed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() *Report {
+		// The sharded default config, warm-on-open included — the
+		// configuration the caveat was observed under. (With
+		// WarmPagesOnOpen disabled, determinismConfig's replay has shown
+		// no divergence; the warm-on-open path is the widest window.)
+		store := fsim.MustNewFileStore(fsim.ShardedConfig())
+		defer store.Close()
+		rp := NewReplayer(store)
+		rp.SampleFileSize = p.FileSize
+		rep, err := rp.ReplayConcurrent("Mixed", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	first := runOnce()
+	diverged := false
+	for run := 0; run < 10 && !diverged; run++ {
+		again := runOnce()
+		if again.TotalRequests != first.TotalRequests ||
+			again.Read.N() != first.Read.N() ||
+			again.Write.N() != first.Write.N() ||
+			again.Seek.N() != first.Seek.N() {
+			t.Fatalf("Mixed replay changed its operation population run to run — that is a real bug, not the timing caveat: %+v vs %+v",
+				summary(first), summary(again))
+		}
+		if !reflect.DeepEqual(first.Requests, again.Requests) {
+			diverged = true
+			for i := range first.Requests {
+				if first.Requests[i] != again.Requests[i] {
+					t.Logf("reproduced: request row %d differs (%s)", i+1,
+						fmt.Sprintf("%+v vs %+v", first.Requests[i], again.Requests[i]))
+					break
+				}
+			}
+		}
+	}
+	if !diverged {
+		t.Log("no per-request divergence in 10 runs on this host; the caveat is scheduler-dependent (try -count=10 under load)")
+	}
+}

@@ -81,17 +81,21 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		}
 	}
 
-	// A requested member rebuild joins before the workers too, for the
-	// same reason: its lane must be part of the merge from the start.
-	var rb *fsim.ArrayRebuild
+	// Requested member rebuilds join before the workers too, for the
+	// same reason: their lanes must be part of the merge from the start.
+	members := append([]int(nil), rp.RebuildMembers...)
 	if rp.RebuildMember >= 0 {
+		members = append(members, rp.RebuildMember)
+	}
+	var rb *fsim.RebuildSet
+	if len(members) > 0 {
 		rs, ok := rp.store.(rebuildStore)
 		if !ok {
 			releaseAll()
 			return nil, fmt.Errorf("tracesim: store %T cannot rebuild a member", rp.store)
 		}
 		var err error
-		if rb, err = rs.BeginRebuild(rp.RebuildMember); err != nil {
+		if rb, err = rs.BeginRebuilds(members); err != nil {
 			releaseAll()
 			return nil, fmt.Errorf("tracesim: starting rebuild: %w", err)
 		}
@@ -99,7 +103,7 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 
 	var wg sync.WaitGroup
 	if rb != nil {
-		// The copy streams through the store's disk path alongside the
+		// The copies stream through the store's disk path alongside the
 		// foreground workers, so rebuild-vs-foreground contention lands in
 		// the merged timings.
 		wg.Add(1)
@@ -156,9 +160,9 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 		}
 	}
 	if rb != nil {
-		// The copy finished with the workers (Run was waited on above);
-		// promote the spare now that the foreground has quiesced —
-		// swapping the member mid-replay would make dispatch order depend
+		// The copies finished with the workers (Run was waited on above);
+		// promote the spares now that the foreground has quiesced —
+		// swapping a member mid-replay would make dispatch order depend
 		// on wall-clock interleaving.
 		merged.RebuildRows = rb.Rows()
 		merged.RebuildTime = rb.Elapsed()
@@ -166,6 +170,7 @@ func (rp *Replayer) ReplayConcurrent(appName string, tr *trace.Trace) (*Report, 
 			releaseAll()
 			return nil, fmt.Errorf("tracesim: finishing rebuild: %w", err)
 		}
+		merged.RebuildMembers = rb.Members()
 	}
 	if hasLanes {
 		// Overlap rule: the parallel machine finishes with its slowest

@@ -135,6 +135,90 @@ func TestRebuildingReplayDeterministic(t *testing.T) {
 	}
 }
 
+// TestMultiRebuildReplayDeterministic runs the hot-spare-pool story: a
+// RAID1 3-mirror loses two members at t0 and both rebuild concurrently
+// onto pool spares through the shared queue while the 8 foreground
+// lanes replay off the lone survivor. The merged report must be
+// bit-identical across runs, each member's rebuild must complete
+// (Writes == Rows per member), and the promoted spares must fold their
+// writes into the array's stats.
+func TestMultiRebuildReplayDeterministic(t *testing.T) {
+	tr := determinismTrace(t)
+	runOnce := func() *Report {
+		cfg := sharedQueueConfig(simdisk.SSTF)
+		cfg.Disks = 3
+		cfg.RAIDLevel = simdisk.RAID1
+		cfg.Spares = 2
+		cfg.Faults = &simdisk.FaultPlan{Faults: []simdisk.Fault{
+			{Disk: 1, Kind: simdisk.FaultDevice, At: 0},
+			{Disk: 2, Kind: simdisk.FaultDevice, At: 0},
+		}}
+		store := fsim.MustNewFileStore(cfg)
+		defer store.Close()
+		rp := NewReplayer(store)
+		rp.SampleFileSize = 32 << 20
+		rp.RebuildMembers = []int{1, 2}
+		rep, err := rp.ReplayConcurrent("Parallel", tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := store.TotalDiskStats().RebuildWrites; got != rep.RebuildRows {
+			t.Fatalf("array RebuildWrites %d, want %d (promoted spares fold their stats)", got, rep.RebuildRows)
+		}
+		if avail := store.SparePool().Available(); avail != 0 {
+			t.Fatalf("spare pool has %d spares left, want 0", avail)
+		}
+		return rep
+	}
+	first := runOnce()
+	if len(first.RebuildMembers) != 2 {
+		t.Fatalf("per-member results %+v, want 2 entries", first.RebuildMembers)
+	}
+	var total int64
+	for _, m := range first.RebuildMembers {
+		if m.Rows <= 0 || m.Writes != m.Rows {
+			t.Fatalf("member %d rebuild incomplete: writes %d, rows %d", m.Member, m.Writes, m.Rows)
+		}
+		total += m.Rows
+	}
+	if total != first.RebuildRows || first.RebuildTime <= 0 {
+		t.Fatalf("rebuild totals off: rows=%d sum=%d time=%v", first.RebuildRows, total, first.RebuildTime)
+	}
+	for run := 0; run < 2; run++ {
+		again := runOnce()
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("multi-rebuild replay diverged on run %d:\nfirst: %+v\nagain: %+v",
+				run+2, summary(first), summary(again))
+		}
+	}
+}
+
+// TestRebuildOverSparesFailsLoudly pins the pool bound: asking for more
+// concurrent rebuilds than the pool provisioned is an error before any
+// rebuild begins, not an invisible extra disk.
+func TestRebuildOverSparesFailsLoudly(t *testing.T) {
+	cfg := sharedQueueConfig(simdisk.SSTF)
+	cfg.Disks = 3
+	cfg.RAIDLevel = simdisk.RAID1
+	cfg.Spares = 1
+	cfg.Faults = &simdisk.FaultPlan{Faults: []simdisk.Fault{
+		{Disk: 1, Kind: simdisk.FaultDevice, At: 0},
+		{Disk: 2, Kind: simdisk.FaultDevice, At: 0},
+	}}
+	store := fsim.MustNewFileStore(cfg)
+	defer store.Close()
+	if _, err := store.BeginRebuilds([]int{1, 2}); err == nil {
+		t.Fatalf("2 rebuilds over a 1-spare pool should error")
+	}
+	if _, err := store.BeginRebuilds([]int{1, 1}); err == nil {
+		t.Fatalf("duplicate members should error")
+	}
+	// The refused set left the pool untouched.
+	if avail := store.SparePool().Available(); avail != 1 {
+		t.Fatalf("pool has %d spares after refusal, want 1", avail)
+	}
+}
+
 // TestDegradedReplayDataIntact pins that degraded-mode reads return the
 // same data-request structure as the healthy array: the replay over a
 // dead RAID5 member must execute every record the healthy replay does

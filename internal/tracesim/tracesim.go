@@ -28,11 +28,11 @@ type recoveryStore interface {
 	RecoveryStats() fsim.RecoveryStats
 }
 
-// rebuildStore is the optional store capability for driving a degraded
-// member's reconstruction alongside a replay; *fsim.FileStore
+// rebuildStore is the optional store capability for driving degraded
+// members' reconstruction alongside a replay; *fsim.FileStore
 // implements it.
 type rebuildStore interface {
-	BeginRebuild(failed int) (*fsim.ArrayRebuild, error)
+	BeginRebuilds(members []int) (*fsim.RebuildSet, error)
 }
 
 // RequestTiming is one timed data request, a row of Tables 3-4. For seek
@@ -87,12 +87,14 @@ type Report struct {
 	// injections, retries, recoveries, hard failures) over the replay,
 	// when the store exposes them; zero on fault-free runs.
 	Recovery fsim.RecoveryStats
-	// RebuildTime is the simulated duration of the concurrent member
-	// rebuild a Replayer.RebuildMember >= 0 ran alongside the replay
-	// (zero when none was requested); RebuildRows is how many blocks it
-	// reconstructed.
-	RebuildTime time.Duration
-	RebuildRows int64
+	// RebuildTime is the simulated duration of the slowest concurrent
+	// member rebuild run alongside the replay (Replayer.RebuildMember /
+	// RebuildMembers; zero when none was requested); RebuildRows is how
+	// many blocks the rebuilds reconstructed in total, and
+	// RebuildMembers carries the per-member outcome.
+	RebuildTime    time.Duration
+	RebuildRows    int64
+	RebuildMembers []fsim.RebuildMemberResult
 
 	// agg, when non-nil, bounds the report's memory: addRequest feeds the
 	// per-op histograms and a reservoir instead of growing Requests.
@@ -170,6 +172,10 @@ type Replayer struct {
 	// promoted once the replay quiesces. The report's RebuildTime and
 	// RebuildRows record the copy. -1 (the NewReplayer default) disables.
 	RebuildMember int
+	// RebuildMembers lists additional members to rebuild concurrently
+	// (joined with RebuildMember when both are set) — the hot-spare-pool
+	// story, typically paired with fsim.Config.Spares.
+	RebuildMembers []int
 }
 
 // NewReplayer builds a replayer over store.
